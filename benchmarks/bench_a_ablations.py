@@ -1,0 +1,62 @@
+"""Ablations of the design choices DESIGN.md §5 calls out.
+
+A1 — pod-size sweep (the ≤5,000-server cap is a knee, not an accident);
+A2 — K2's exposure-first drain vs a blind transfer;
+A3 — K1's exposure damping vs client-side TTL lag.
+"""
+
+from conftest import emit
+
+from repro.experiments import ablations
+
+
+def test_a1_pod_size(benchmark):
+    result = benchmark.pedantic(lambda: ablations.run_pod_size(), rounds=1, iterations=1)
+    emit([result.table()], "a1_pod_size")
+    sizes = [r[0] for r in result.rows]
+    times = [r[2] for r in result.rows]
+    sats = [r[4] for r in result.rows]
+    # Time grows with pod size; quality saturates well before the largest.
+    assert times[-1] > times[0] * 5
+    assert sats[0] > 0.98  # even small pods are close
+    knee = sizes[sats.index(max(sats))]
+    assert knee < sizes[-1] or max(sats) == sats[-1]
+
+
+def test_a2_drain_first(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_drain_ablation(trials=10), rounds=1, iterations=1
+    )
+    emit([result.table()], "a2_drain_first")
+    rows = {r[0]: r for r in result.rows}
+    blind = rows["blind transfer"]
+    drained = rows["drain-first (K1 then move)"]
+    # Draining saves the sessions, at the cost of waiting.
+    assert drained[2] < blind[2] / 10
+    assert drained[3] > 60
+
+
+def test_a4_compartmentalization(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_compartmentalization(), rounds=1, iterations=1
+    )
+    emit([result.table()], "a4_compartmentalization")
+    rows = {r[0]: r for r in result.rows}
+    pooled, split = rows["shared pool"], rows["partitioned"]
+    # Statistical multiplexing: the shared pool rides out demand noise the
+    # compartments cannot (paper §I-A).
+    assert pooled[1] < split[1]
+    assert pooled[3] < split[3] * 0.6
+
+
+def test_a3_damping(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_damping_ablation(), rounds=1, iterations=1
+    )
+    emit([result.table()], "a3_damping")
+    rows = {r[0]: r for r in result.rows}
+    # Undamped control reacts fastest but overshoots hardest.
+    assert rows[0.0][2] > rows[0.5][2]
+    assert rows[0.0][1] <= rows[0.5][1]
+    # Heavy damping converges more slowly than the default.
+    assert rows[0.8][1] >= rows[0.5][1]

@@ -1,0 +1,35 @@
+"""E10 — single-layer vs two-layer under policy conflict.
+
+Regenerates: the conflict sweep of Section V-B and the switch-cost
+overhead of the demand-distribution layer.
+"""
+
+from conftest import emit
+
+from repro.experiments import e10_two_layer
+
+
+def test_e10_two_layer(benchmark):
+    result = benchmark.pedantic(lambda: e10_two_layer.run(), rounds=1, iterations=1)
+    # Closed-loop counterpart of the LP rows: controllers running against
+    # the fluid DNS, fully crossed bindings.
+    dynamic = e10_two_layer.run_dynamic()
+    table = result.table()
+    for mode, link_util, pod_util in dynamic:
+        table.add_note(
+            f"closed-loop (crossing=1): {mode} settles at "
+            f"max link util {link_util}, max pod util {pod_util}"
+        )
+    emit([table], "e10_two_layer")
+    dyn = {row[0]: row for row in dynamic}
+    assert dyn["single-layer"][2] > 1.0  # stuck overloaded
+    assert dyn["two-layer (decoupled)"][1] < 1.0
+    assert dyn["two-layer (decoupled)"][2] < 1.0
+    by_crossing = {r[0]: r for r in result.rows}
+    # Aligned bindings: both architectures fine.
+    assert by_crossing[0.0][1] <= by_crossing[0.0][4] + 1e-6
+    # Fully adversarial: single layer overloads, two layers do not.
+    assert by_crossing[1.0][1] > 1.0
+    assert by_crossing[1.0][4] < 1.0
+    # The decoupling costs extra switches.
+    assert result.overhead["two_layer_switches"] > result.overhead["single_layer_switches"]

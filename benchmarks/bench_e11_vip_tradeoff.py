@@ -1,0 +1,24 @@
+"""E11 — VIPs-per-application trade-off (the paper's promised evaluation).
+
+Regenerates: min-max achievable link utilization and switch cost as a
+function of the mean VIPs per application (Section IV-A).
+"""
+
+from conftest import emit
+
+from repro.experiments import e11_vip_tradeoff
+
+
+def test_e11_vip_tradeoff(benchmark):
+    result = benchmark.pedantic(lambda: e11_vip_tradeoff.run(), rounds=1, iterations=1)
+    emit([result.table()], "e11_vip_tradeoff")
+    utils = {r[0]: r[1] for r in result.rows}
+    switches = {r[0]: r[3] for r in result.rows}
+    # More VIPs -> monotonically no-worse balance; big gain from k=1 to k=3.
+    ks = sorted(utils)
+    assert all(utils[b] <= utils[a] + 1e-9 for a, b in zip(ks, ks[1:]))
+    assert utils[3.0] < utils[1.0] * 0.5
+    # Diminishing returns past the paper's default k=3...
+    assert utils[6.0] > utils[3.0] * 0.8
+    # ...while switch cost eventually rises.
+    assert switches[6.0] >= switches[3.0]

@@ -1,0 +1,24 @@
+"""E12 — placement quality: centralized vs hierarchical vs distributed.
+
+Regenerates: the quality/churn/decision-time comparison over drifting
+demand (Section I-A's quality-vs-scalability trade-off).
+"""
+
+from conftest import emit
+
+from repro.experiments import e12_quality
+
+
+def test_e12_quality(benchmark):
+    result = benchmark.pedantic(lambda: e12_quality.run(), rounds=1, iterations=1)
+    emit([result.table()], "e12_quality")
+    rows = {r.controller: r for r in result.rows}
+    tang = rows["tang-centralized"]
+    hier = rows["hierarchical-pods"]
+    dist = rows["distributed"]
+    # Paper shape: distributed trades quality for speed; hierarchical
+    # approaches centralized quality at a fraction of the decision time.
+    assert dist.mean_satisfied < tang.mean_satisfied
+    assert hier.mean_satisfied >= 0.98 * tang.mean_satisfied
+    assert hier.total_time_s < tang.total_time_s / 5
+    assert dist.total_time_s < tang.total_time_s

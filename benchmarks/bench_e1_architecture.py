@@ -1,0 +1,22 @@
+"""E1 / Figure 1 — end-to-end architecture benchmark.
+
+Regenerates: the architecture-level steady-state table (component
+utilizations, imbalances, satisfied demand, invariant check).
+"""
+
+from conftest import emit
+
+from repro.experiments import e01_architecture
+
+
+def test_e1_architecture(benchmark):
+    result = benchmark.pedantic(
+        lambda: e01_architecture.run(duration_s=3600.0), rounds=1, iterations=1
+    )
+    emit([result.table()], "e01_architecture")
+    dc = result.dc
+    # Paper-shape assertions: the platform is stable and sound.
+    assert dc.invariants_ok()
+    assert dc.satisfied.current > 0.99
+    assert max(dc.link_utilizations().values()) < 1.0
+    assert max(dc.pod_utilizations().values()) < 1.0

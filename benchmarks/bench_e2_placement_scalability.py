@@ -1,0 +1,27 @@
+"""E2 — placement-algorithm scalability benchmark.
+
+Regenerates: runtime-vs-scale for Tang (centralized), hierarchical pods,
+and distributed controllers.  Paper claim: centralized runtime grows
+superlinearly ("~30 s for 7,000 servers / 17,500 apps"); pods bound it.
+"""
+
+from conftest import emit
+
+from repro.experiments import e02_placement_scalability
+
+
+def test_e2_placement_scalability(benchmark):
+    result = benchmark.pedantic(
+        lambda: e02_placement_scalability.run(sizes=(100, 200, 400, 800)),
+        rounds=1,
+        iterations=1,
+    )
+    emit([result.table()], "e02_placement_scalability")
+    first, last = result.rows[0], result.rows[-1]
+    # Shape: centralized superlinear; hierarchical per-pod ~flat;
+    # distributed fastest.
+    assert result.tang_superlinear()
+    assert last.hier_max_pod_s < last.tang_s / 5
+    assert last.dist_s < last.tang_s
+    # Quality ordering at the largest scale: hierarchical ~ centralized.
+    assert last.hier_satisfied > 0.9 * last.tang_satisfied

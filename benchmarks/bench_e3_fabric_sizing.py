@@ -1,0 +1,22 @@
+"""E3 — LB fabric sizing benchmark.
+
+Regenerates: the paper's switch-count arithmetic (150 switches / 600 Gbps
+at k=2; 375 switches at k=3 with 20 RIPs/app) and the simulated
+not-a-bottleneck check.
+"""
+
+from conftest import emit
+
+from repro.experiments import e03_fabric_sizing
+
+
+def test_e3_fabric_sizing(benchmark):
+    result = benchmark.pedantic(lambda: e03_fabric_sizing.run(), rounds=1, iterations=1)
+    emit([result.table()], "e03_fabric_sizing")
+    rows = {(r[0], r[1]): r for r in result.analytic_rows}
+    # The paper's two headline numbers.
+    assert rows[(300_000, 2.0)][3] == 150  # by VIPs
+    assert rows[(300_000, 3.0)][5] == 375  # required
+    # Not a bottleneck anywhere in the sweep, nor in simulation.
+    assert all(r[7] == "no" for r in result.analytic_rows)
+    assert result.sim_max_switch_util < 1.0

@@ -1,0 +1,30 @@
+"""E5 — dynamic VIP transfer between LB switches.
+
+Regenerates: (a) the clean-pause probability vs TTL-violator fraction and
+(b) switch-utilization balancing with/without K2 (Section IV-B).
+"""
+
+from conftest import emit
+
+from repro.experiments import e05_vip_transfer
+
+
+def test_e5_vip_transfer(benchmark):
+    result = benchmark.pedantic(
+        lambda: e05_vip_transfer.run(
+            violator_fractions=(0.0, 0.05, 0.2), trials=20, duration_s=3600.0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit([result.table(), result.balance_table()], "e05_vip_transfer")
+    # Pause probability decreases with TTL violators (the paper's concern).
+    probs = [r[2] for r in result.pause_rows]
+    assert probs[0] > probs[-1]
+    assert probs[0] > 0.8  # compliant clients pause reliably
+    # K2 improves the settled balance.
+    no_k2 = next(r for r in result.balance_rows if r[0] == "no K2")
+    with_k2 = next(r for r in result.balance_rows if r[0] == "with K2")
+    assert with_k2[2] < no_k2[2]  # settled peak utilization
+    assert with_k2[3] < no_k2[3]  # final imbalance
+    assert with_k2[4] >= 1  # it actually transferred something

@@ -1,0 +1,29 @@
+"""E6 — server transfer between pods + elephant-pod avoidance.
+
+Regenerates: the three-configuration comparison (no-GM, uncapped K3,
+capped ladder) of Section IV-C.
+"""
+
+from conftest import emit
+
+from repro.experiments import e06_server_transfer
+
+
+def test_e6_server_transfer(benchmark):
+    result = benchmark.pedantic(
+        lambda: e06_server_transfer.run(duration_s=3600.0), rounds=1, iterations=1
+    )
+    emit([result.table()], "e06_server_transfer")
+    rows = {r.config: r for r in result.rows}
+    no_gm = rows["no-GM"]
+    elephant = rows["K3-uncapped (elephant)"]
+    capped = rows["capped ladder (K6->K5->K4->K3)"]
+    # Without the GM the step demand is unservable.
+    assert no_gm.satisfied_final < 0.8
+    # Both GM configurations relieve the overload...
+    assert elephant.satisfied_final > 0.99
+    assert capped.satisfied_final > 0.99
+    # ...but uncapped K3 grows an elephant whose manager slows down.
+    assert elephant.hot_pod_servers > capped.hot_pod_servers
+    assert elephant.max_decision_ms > capped.max_decision_ms
+    assert elephant.k3_actions >= 1

@@ -1,0 +1,30 @@
+"""E7 — deployment relief vs turbulence frontier.
+
+Regenerates: the cheap-first vs deploy-first comparison of Section IV-D
+(deployments, bytes copied, SLO violation time).
+"""
+
+from conftest import emit
+
+from repro.experiments import e07_dynamic_deployment
+
+
+def test_e7_dynamic_deployment(benchmark):
+    result = benchmark.pedantic(
+        lambda: e07_dynamic_deployment.run(duration_s=3600.0), rounds=1, iterations=1
+    )
+    emit([result.table()], "e07_dynamic_deployment")
+    rows = {r.policy: r for r in result.rows}
+    none = rows["no-deployment (K6/K5/K3)"]
+    cheap, eager = rows["cheap-first"], rows["deploy-first"]
+    # The frontier is depth-vs-duration: eager deployment softens the
+    # worst of the overload but costs the most turbulence; no-deployment
+    # is free but leaves the deepest trough.
+    assert none.deployments == 0 and none.gb_copied == 0
+    assert eager.min_satisfied >= none.min_satisfied
+    assert eager.gb_copied >= cheap.gb_copied > 0
+    assert cheap.deployments >= 1 and eager.deployments >= 1
+    # All policies recover by the end of the run.
+    assert none.final_satisfied > 0.99
+    assert cheap.final_satisfied > 0.99
+    assert eager.final_satisfied > 0.99

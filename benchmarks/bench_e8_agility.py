@@ -1,0 +1,26 @@
+"""E8 — the knob agility ladder.
+
+Regenerates: the per-knob reaction-latency table (Sections IV-E/F) and the
+intra-pod weight-conservation check.
+"""
+
+from conftest import emit
+
+from repro.experiments import e08_agility
+
+
+def test_e8_agility(benchmark):
+    result = benchmark.pedantic(lambda: e08_agility.run(), rounds=1, iterations=1)
+    emit([result.table()], "e08_agility")
+    latency = {(r[0], r[1]): r[2] for r in result.rows}
+    by_knob = {}
+    for (knob, _), v in latency.items():
+        by_knob.setdefault(knob, []).append(v)
+    # Paper: K5/K6 act in seconds; K3/K4-migration/naive-BGP in minutes-ish.
+    assert max(by_knob["K5"]) <= 5
+    assert max(by_knob["K6"]) <= 5
+    assert min(by_knob["K3"]) >= 10
+    assert max(by_knob["K4"]) >= 30  # full migration path
+    assert min(by_knob["naive-bgp"]) >= 60
+    # Conservation: intra-pod K6 leaves other pods' shares unchanged.
+    assert result.conservation_before == result.conservation_after

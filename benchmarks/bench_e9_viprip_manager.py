@@ -1,0 +1,25 @@
+"""E9 — VIP/RIP manager throughput: flat vs switch pods.
+
+Regenerates: the request-storm throughput table and the analytic
+decision-space sizes (Sections III-C, V-A).
+"""
+
+from conftest import emit
+
+from repro.experiments import e09_viprip_manager
+
+
+def test_e9_viprip_manager(benchmark):
+    result = benchmark.pedantic(
+        lambda: e09_viprip_manager.run(switch_counts=(64, 128, 256, 512)),
+        rounds=1,
+        iterations=1,
+    )
+    emit([result.table()], "e09_viprip_manager")
+    flat = {r.n_switches: r for r in result.rows if r.selector == "flat"}
+    hier = {r.n_switches: r for r in result.rows if r.selector == "switch-pods"}
+    # Flat throughput degrades as the fabric grows; the hierarchy holds up.
+    assert flat[512].throughput_rps < flat[64].throughput_rps * 0.75
+    assert hier[512].throughput_rps > flat[512].throughput_rps * 1.5
+    # The hierarchy scans far fewer switches per request.
+    assert hier[512].mean_scan < flat[512].mean_scan / 4

@@ -1,0 +1,46 @@
+"""Extension experiments: the objectives the paper defers to future work.
+
+X1 — energy-aware consolidation (Section VI);
+X2 — business-cost-aware access-link steering (Section IV-A).
+"""
+
+from conftest import emit
+
+from repro.experiments import extensions
+
+
+def test_x1_energy(benchmark):
+    result = benchmark.pedantic(
+        lambda: extensions.run_energy(duration_s=86400.0), rounds=1, iterations=1
+    )
+    emit([result.table()], "x1_energy")
+    spread, consolidated = result.rows
+    # Consolidation + parking saves substantial energy at equal service.
+    assert consolidated[1] < spread[1] * 0.85
+    assert consolidated[2] > 0  # actually parked servers
+    assert consolidated[3] > 0.99  # without sacrificing demand
+
+
+def test_x2_link_costs(benchmark):
+    result = benchmark.pedantic(
+        lambda: extensions.run_link_costs(duration_s=1800.0), rounds=1, iterations=1
+    )
+    emit([result.table()], "x2_link_costs")
+    rows = {r[0]: r for r in result.rows}
+    cheap = rows["cheapest-link"]
+    balance = rows["balance-only"]
+    assert cheap[1] < balance[1]  # cheaper
+    assert cheap[2] < 1.0  # and still not overloaded
+
+
+def test_x3_coplacement(benchmark):
+    result = benchmark.pedantic(
+        lambda: extensions.run_coplacement(duration_s=1200.0), rounds=1, iterations=1
+    )
+    emit([result.table()], "x3_coplacement")
+    rows = {r[0]: r for r in result.rows}
+    aware = rows["affinity-aware"]
+    oblivious = rows["oblivious"]
+    # Co-placing tiers keeps much more backend traffic intra-pod.
+    assert aware[3] < oblivious[3] * 0.8
+    assert aware[4] > 0.99 and oblivious[4] > 0.99

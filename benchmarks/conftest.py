@@ -1,0 +1,21 @@
+"""Shared benchmark plumbing.
+
+Every benchmark prints the table(s) it reproduces and also writes them to
+``benchmarks/results/<id>.txt`` so the experiment output survives runs
+that capture stdout.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(tables, name: str) -> None:
+    """Print and persist one experiment's tables."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n\n".join(t.render() for t in tables)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

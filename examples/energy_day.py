@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""One diurnal day, two energy policies (the Section VI extension).
+
+Runs the same platform through a simulated day twice — spreading load for
+headroom vs consolidating and parking empty servers — and prints the
+hour-by-hour fleet power alongside the demand curve.
+
+Run:  python examples/energy_day.py
+"""
+
+from repro.core import MegaDataCenter, PlatformConfig
+from repro.core.energy import EnergyAccountant, PowerModel
+from repro.placement import GreedyController
+from repro.sim import RngHub
+from repro.workload import WorkloadBuilder
+
+
+def run_day(consolidate: bool):
+    apps = WorkloadBuilder(
+        n_apps=20, total_gbps=12.0, diurnal_fraction=1.0, rng_hub=RngHub(3)
+    ).build()
+    dc = MegaDataCenter(
+        apps,
+        config=PlatformConfig(epoch_s=600.0),
+        n_pods=3,
+        servers_per_pod=10,
+        n_switches=4,
+        pod_controller_factory=lambda: GreedyController(
+            stop_idle=consolidate, packing=consolidate
+        ),
+    )
+    acct = EnergyAccountant(dc.env, PowerModel())
+    servers = lambda: [s for m in dc.pod_managers.values() for s in m.pod.servers]
+    acct.sample(servers())
+    hourly_power = []
+    for hour in range(24):
+        dc.run(3600.0)
+        if consolidate:
+            acct.park_all_empty(servers())
+        power = acct.sample(servers())
+        hourly_power.append((power, dc.total_demand_gbps()))
+    return hourly_power, acct, dc
+
+
+def main() -> None:
+    spread, acct_s, _ = run_day(consolidate=False)
+    packed, acct_p, dc = run_day(consolidate=True)
+
+    print(f"{'hour':>4} | {'demand':>7} | {'spread W':>9} | {'packed W':>9}")
+    print("-" * 40)
+    for h, ((pw_s, d), (pw_p, _)) in enumerate(zip(spread, packed)):
+        bar = "#" * int(d)
+        print(f"{h:>4} | {d:>6.1f}G | {pw_s:>8.0f}W | {pw_p:>8.0f}W  {bar}")
+
+    saving = 1 - acct_p.energy_kwh / acct_s.energy_kwh
+    print(
+        f"\nday total: spread {acct_s.energy_kwh:.1f} kWh, "
+        f"consolidated {acct_p.energy_kwh:.1f} kWh  ({saving:.0%} saved, "
+        f"{acct_p.parked_server_hours:.0f} parked server-hours)"
+    )
+    print(f"demand satisfied throughout: {dc.satisfied.time_average():.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Why pods: centralized placement does not scale; hierarchy does.
+
+Solves identical placement instances of growing size with the three
+controllers the paper discusses — Tang et al.'s exact centralized
+controller, the hierarchical pods scheme, and an uncoordinated
+distributed scheme — and prints time and quality.
+
+Run:  python examples/placement_scalability.py
+"""
+
+import numpy as np
+
+from repro.experiments.e02_placement_scalability import make_instance, split_into_pods
+from repro.placement import (
+    DistributedController,
+    GreedyController,
+    TangController,
+    evaluate_solution,
+)
+
+
+def main() -> None:
+    print(f"{'servers':>8} {'apps':>6} | {'tang':>8} {'sat':>6} | "
+          f"{'pods(max)':>9} {'sat':>6} | {'dist':>8} {'sat':>6}")
+    print("-" * 70)
+    for n in (50, 100, 200, 400):
+        problem = make_instance(n)
+
+        tang_sol = TangController().solve(problem)
+        tang_q = evaluate_solution(problem, tang_sol)
+
+        pods = split_into_pods(problem, pod_size=100)
+        greedy = GreedyController()
+        times, sat, dem = [], 0.0, 0.0
+        for p in pods:
+            s = greedy.solve(p)
+            times.append(s.wall_time_s)
+            sat += s.satisfied().sum()
+            dem += p.total_demand
+
+        dist_sol = DistributedController(rng=np.random.default_rng(0)).solve(problem)
+        dist_q = evaluate_solution(problem, dist_sol)
+
+        print(
+            f"{n:>8} {problem.n_apps:>6} | "
+            f"{tang_sol.wall_time_s:>7.2f}s {tang_q.satisfied_fraction:>6.1%} | "
+            f"{max(times):>8.3f}s {sat / dem:>6.1%} | "
+            f"{dist_sol.wall_time_s:>7.2f}s {dist_q.satisfied_fraction:>6.1%}"
+        )
+    print(
+        "\ntang runtime grows superlinearly (the paper quotes ~30s at 7,000 "
+        "servers);\nper-pod time stays flat because each pod is solved "
+        "independently (and in a real\ndeployment, in parallel)."
+    )
+
+
+if __name__ == "__main__":
+    main()

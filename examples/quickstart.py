@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: build a small mega data center and watch it run.
+
+Builds the paper's Figure-1 architecture at laptop scale — 4 access links,
+6 LB switches, 3 pods of 12 servers, 30 Zipf-popular applications — runs
+half an hour of simulated time and prints what the platform did.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import MegaDataCenter, PlatformConfig
+from repro.sim import RngHub
+from repro.workload import WorkloadBuilder
+
+
+def main() -> None:
+    # 1. A workload: 30 applications, Zipf-popular, half of them diurnal.
+    apps = WorkloadBuilder(
+        n_apps=30,
+        total_gbps=15.0,
+        zipf_s=0.8,
+        diurnal_fraction=0.5,
+        rng_hub=RngHub(seed=42),
+    ).build()
+
+    # 2. The platform: pods, LB switches, access links, DNS, managers.
+    dc = MegaDataCenter(
+        apps,
+        config=PlatformConfig(epoch_s=60.0),
+        n_pods=3,
+        servers_per_pod=12,
+        n_switches=6,
+    )
+
+    # 3. Run 30 simulated minutes.
+    dc.run(30 * 60.0)
+
+    # 4. Inspect.
+    print(f"epochs run:          {dc.epochs}")
+    print(f"satisfied demand:    {dc.satisfied.current:.1%}")
+    print(f"total demand now:    {dc.total_demand_gbps():.1f} Gbps")
+    print(f"invariants hold:     {dc.invariants_ok()}")
+    print()
+    print("access links:")
+    for name, util in sorted(dc.link_utilizations().items()):
+        print(f"  {name}: {util:6.1%}")
+    print("LB switches:")
+    for name, util in sorted(dc.switch_utilizations().items()):
+        print(f"  {name}: {util:6.1%}")
+    print("pods:")
+    for name, util in sorted(dc.pod_utilizations().items()):
+        print(f"  {name}: {util:6.1%}  "
+              f"({dc.pod_managers[name].pod.n_vms} VMs on "
+              f"{dc.pod_managers[name].pod.n_servers} servers)")
+    log = dc.action_log()
+    print()
+    print(f"global-manager actions: {len(log)}")
+    for knob in ("K1", "K2", "K3", "K4", "K5", "K6"):
+        n = log.count(knob)
+        if n:
+            print(f"  {knob}: {n}")
+
+
+if __name__ == "__main__":
+    main()

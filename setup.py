@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no `wheel` package, so PEP 660
+editable installs (`pip install -e .`) cannot build the editable wheel.  This
+shim lets `python setup.py develop` (and `pip install -e . --no-build-isolation`
+on toolchains with `wheel` present) install the package in editable mode.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,122 @@
+"""Command-line interface: run experiments and demos without writing code.
+
+Usage::
+
+    python -m repro list
+    python -m repro run e04                 # one experiment, prints its table(s)
+    python -m repro run e02 e12             # several
+    python -m repro run all                 # the full suite (slow)
+    python -m repro quickstart              # build + run a small platform
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+#: experiment id -> (module, callable, kwargs, description)
+EXPERIMENTS: dict[str, tuple[str, str, dict, str]] = {
+    "e01": ("e01_architecture", "run", {}, "Fig.1 end-to-end architecture"),
+    "e02": ("e02_placement_scalability", "run", {}, "placement runtime vs scale"),
+    "e03": ("e03_fabric_sizing", "run", {}, "LB fabric sizing arithmetic"),
+    "e04": ("e04_selective_exposure", "run", {}, "K1 exposure vs naive BGP"),
+    "e05": ("e05_vip_transfer", "run", {}, "K2 transfer: pause prob + balance"),
+    "e06": ("e06_server_transfer", "run", {}, "K3 transfer + elephant pods"),
+    "e07": ("e07_dynamic_deployment", "run", {}, "K4 relief vs turbulence"),
+    "e08": ("e08_agility", "run", {}, "knob reaction latencies"),
+    "e09": ("e09_viprip_manager", "run", {}, "VIP/RIP manager throughput"),
+    "e10": ("e10_two_layer", "run", {}, "single vs two-LB-layer conflict"),
+    "e11": ("e11_vip_tradeoff", "run", {}, "VIPs-per-app trade-off"),
+    "e12": ("e12_quality", "run", {}, "placement quality comparison"),
+    "a1": ("ablations", "run_pod_size", {}, "ablation: pod size"),
+    "a2": ("ablations", "run_drain_ablation", {}, "ablation: K2 drain-first"),
+    "a3": ("ablations", "run_damping_ablation", {}, "ablation: K1 damping"),
+    "a4": ("ablations", "run_compartmentalization", {}, "ablation: switch pooling"),
+    "x1": ("extensions", "run_energy", {}, "extension: energy/consolidation"),
+    "x2": ("extensions", "run_link_costs", {}, "extension: link usage costs"),
+    "x3": ("extensions", "run_coplacement", {}, "extension: tier co-placement"),
+}
+
+
+def _tables_of(result) -> list:
+    tables = [result.table()]
+    extra = getattr(result, "balance_table", None)
+    if callable(extra):
+        tables.append(extra())
+    return tables
+
+
+def run_experiment(exp_id: str, out=None) -> None:
+    out = out if out is not None else sys.stdout
+    module_name, fn_name, kwargs, _ = EXPERIMENTS[exp_id]
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    fn = getattr(module, fn_name)
+    t0 = time.perf_counter()
+    result = fn(**kwargs)
+    elapsed = time.perf_counter() - t0
+    for table in _tables_of(result):
+        print(file=out)
+        print(table.render(), file=out)
+    print(f"  [{exp_id} finished in {elapsed:.1f}s]", file=out)
+
+
+def cmd_list(out=None) -> None:
+    out = out if out is not None else sys.stdout
+    print("available experiments:", file=out)
+    for exp_id, (_, _, _, desc) in EXPERIMENTS.items():
+        print(f"  {exp_id:>4}  {desc}", file=out)
+
+
+def cmd_quickstart(out=None) -> None:
+    out = out if out is not None else sys.stdout
+    from repro.core import MegaDataCenter, PlatformConfig
+    from repro.sim import RngHub
+    from repro.workload import WorkloadBuilder
+
+    apps = WorkloadBuilder(n_apps=20, total_gbps=10.0, rng_hub=RngHub(0)).build()
+    dc = MegaDataCenter(
+        apps, config=PlatformConfig(), n_pods=3, servers_per_pod=8, n_switches=4
+    )
+    dc.run(1800.0)
+    print(f"satisfied: {dc.satisfied.current:.1%}", file=out)
+    print(f"links:     {dc.link_utilizations()}", file=out)
+    print(f"invariants hold: {dc.invariants_ok()}", file=out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Mega Data Center for Elastic Internet Applications'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run_p = sub.add_parser("run", help="run one or more experiments")
+    run_p.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'",
+    )
+    sub.add_parser("quickstart", help="build and run a small platform")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        cmd_list()
+        return 0
+    if args.command == "quickstart":
+        cmd_quickstart()
+        return 0
+    ids = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    unknown = [e for e in ids if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        cmd_list(out=sys.stderr)
+        return 2
+    for exp_id in ids:
+        run_experiment(exp_id)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

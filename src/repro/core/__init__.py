@@ -1,0 +1,48 @@
+"""The paper's primary contribution: the mega-data-center architecture.
+
+* :mod:`repro.core.pod` / :mod:`repro.core.pod_manager` — logical server
+  pods and the pod-level resource manager (Section III-A).
+* :mod:`repro.core.viprip` — the serialized VIP/RIP manager (Section III-C).
+* :mod:`repro.core.knobs` — the six control knobs (Section IV).
+* :mod:`repro.core.global_manager` — the datacenter-scale manager tying the
+  knobs together.
+* :mod:`repro.core.sizing` — analytic fabric sizing (Sections III-B, V-A).
+* :mod:`repro.core.switch_pods` — the hierarchical LB-switch management
+  fallback (Section V-A).
+* :mod:`repro.core.two_layer` — the two-LB-layer variant (Section V-B).
+* :mod:`repro.core.datacenter` — the full Figure-1 assembly.
+"""
+
+from repro.core.config import PlatformConfig
+from repro.core.pod import Pod
+from repro.core.pod_manager import PodManager, PodReport
+from repro.core.viprip import VipRipManager, VipRipRequest
+from repro.core.sizing import (
+    aggregate_lb_bandwidth_gbps,
+    switches_needed,
+    vip_allocation_state_space_log10,
+)
+from repro.core.switch_pods import SwitchPodManager, FlatSwitchManager
+from repro.core.global_manager import GlobalManager
+from repro.core.datacenter import MegaDataCenter
+from repro.core.two_layer import TwoLayerFabric
+from repro.core.energy import EnergyAccountant, PowerModel
+
+__all__ = [
+    "PlatformConfig",
+    "Pod",
+    "PodManager",
+    "PodReport",
+    "VipRipManager",
+    "VipRipRequest",
+    "switches_needed",
+    "aggregate_lb_bandwidth_gbps",
+    "vip_allocation_state_space_log10",
+    "SwitchPodManager",
+    "FlatSwitchManager",
+    "GlobalManager",
+    "MegaDataCenter",
+    "TwoLayerFabric",
+    "PowerModel",
+    "EnergyAccountant",
+]

@@ -1,0 +1,79 @@
+"""Platform configuration: every paper parameter in one place."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lbswitch.switch import SwitchLimits
+
+
+@dataclass
+class PlatformConfig:
+    """Tunable parameters of the architecture.
+
+    Defaults are the paper's numbers (Sections II, III, IV) scaled where
+    noted.  Everything an experiment sweeps lives here.
+    """
+
+    # -- pods (Section III-A) ------------------------------------------------
+    #: Pod size limits: "about 5,000 servers and 10,000 VMs (whichever
+    #: comes first)".  Experiments run scaled-down pods; the *ratio* of
+    #: these limits to total size is what matters.
+    pod_max_servers: int = 5000
+    pod_max_vms: int = 10000
+
+    # -- LB switches (Section II) ----------------------------------------------
+    switch_limits: SwitchLimits = field(default_factory=SwitchLimits)
+    #: "Configuring the load balancing switches takes only several seconds."
+    switch_reconfig_s: float = 3.0
+
+    # -- VIPs (Section IV-A / V-A) ----------------------------------------------
+    #: "we assign three VIPs per application on average".
+    mean_vips_per_app: float = 3.0
+    #: "on average 20 VM instances per application" (Section II).
+    mean_rips_per_app: float = 20.0
+
+    # -- DNS / exposure (Section IV-A) -----------------------------------------
+    dns_ttl_s: float = 30.0
+    ttl_violator_fraction: float = 0.1
+    ttl_violation_factor: float = 10.0
+
+    # -- BGP (Section IV-A) -----------------------------------------------------
+    bgp_convergence_s: float = 30.0
+    #: Period of the background reclamation of unused VIPs.
+    vip_reclaim_period_s: float = 3600.0
+
+    # -- control thresholds -------------------------------------------------------
+    #: Utilization above which a component counts as overloaded.
+    overload_threshold: float = 0.85
+    #: Utilization below which a pod may donate servers.
+    donor_threshold: float = 0.5
+    #: Residual DNS share below which a VIP counts as drained (K2 pause).
+    drain_epsilon: float = 0.02
+    #: Max seconds K2 waits for a drain before giving up.
+    drain_timeout_s: float = 600.0
+
+    # -- epochs -------------------------------------------------------------------
+    epoch_s: float = 60.0
+
+    # -- hosts ----------------------------------------------------------------------
+    server_cpu: float = 1.0
+    server_mem_gb: float = 32.0
+    vm_boot_s: float = 60.0
+    vm_stop_s: float = 5.0
+    slice_adjust_s: float = 2.0
+
+    # -- fabric -----------------------------------------------------------------------
+    external_traffic_fraction: float = 0.2
+
+    def __post_init__(self):
+        if self.pod_max_servers < 1 or self.pod_max_vms < 1:
+            raise ValueError("pod limits must be positive")
+        if not 0 < self.overload_threshold <= 1.5:
+            raise ValueError("overload_threshold out of range")
+        if self.donor_threshold >= self.overload_threshold:
+            raise ValueError("donor_threshold must be below overload_threshold")
+        if self.epoch_s <= 0:
+            raise ValueError("epoch_s must be positive")
+        if self.mean_vips_per_app < 1:
+            raise ValueError("mean_vips_per_app must be >= 1")

@@ -1,0 +1,552 @@
+"""The full Figure-1 assembly: clients -> DNS -> access links -> border
+routers -> LB switches -> fabric -> pods of servers, with the global
+manager and per-pod managers running the control plane.
+
+Epoch-level operation: every ``config.epoch_s`` the facade
+
+1. relaxes the fluid DNS model (clients re-resolving within TTL);
+2. computes each application's demand and splits it over its VIPs by the
+   clients' current shares; charges access links and LB switches;
+3. splits each VIP's traffic over its RIPs by the switch weights and
+   assigns the implied CPU demand to the serving pods;
+4. runs every pod manager's placement epoch (which boots/stops VMs and
+   resizes slices);
+5. lets the global manager react (knobs K1..K6, elephant avoidance).
+
+RIP (un)wiring has two modes: the default mutates switch tables instantly
+(counting reconfigurations), while ``serialized_reconfig=True`` routes
+every runtime request through the global VIP/RIP manager's priority queue
+with per-request decision and reconfiguration latencies (Section III-C).
+An optional PortLand ``topology`` maps servers onto physical hosts and
+keeps every serving RIP registered with the fabric manager (Section
+III-B's flat address space).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import max_mean_ratio
+from repro.core.config import PlatformConfig
+from repro.core.global_manager import GlobalManager
+from repro.core.pod import Pod
+from repro.core.pod_manager import PodManager, PodReport
+from repro.core.state import PlatformState
+from repro.dns.authority import AuthoritativeDNS
+from repro.dns.policy import ExposurePolicy
+from repro.dns.population import FluidDNSModel
+from repro.hosts.server import PhysicalServer, ServerSpec
+from repro.hosts.vm import VM
+from repro.lbswitch.addresses import PRIVATE_RIP_POOL, PUBLIC_VIP_POOL
+from repro.lbswitch.switch import LBSwitch
+from repro.network.bgp import BGPAnnouncer
+from repro.network.links import InternetSide
+from repro.sim.core import Environment
+from repro.sim.monitor import TimeSeries
+from repro.core.sizing import switches_needed
+from repro.core.viprip import VipRipManager, VipRipRequest
+from repro.topology.portland import PortLand
+from repro.workload.apps import AppSpec
+
+#: Default access network: 2 ISPs, 2 border routers, 4 access links.
+DEFAULT_LINKS = (
+    ("link-a", "isp-1", "AR1", "br-1", 10.0, 1.0),
+    ("link-b", "isp-1", "AR2", "br-1", 10.0, 1.0),
+    ("link-c", "isp-2", "AR3", "br-2", 10.0, 1.5),
+    ("link-d", "isp-2", "AR4", "br-2", 10.0, 1.5),
+)
+
+
+class MegaDataCenter:
+    """Build and run a simulated mega data center."""
+
+    def __init__(
+        self,
+        apps: Sequence[AppSpec],
+        config: Optional[PlatformConfig] = None,
+        n_pods: int = 4,
+        servers_per_pod: int = 16,
+        n_switches: Optional[int] = None,
+        links: Sequence[tuple] = DEFAULT_LINKS,
+        pod_controller_factory: Optional[Callable[[], object]] = None,
+        enable_global_manager: bool = True,
+        pod_max_servers: Optional[int] = None,
+        pod_max_vms: Optional[int] = None,
+        exposure_policy: Optional[ExposurePolicy] = None,
+        proactive_exposure: bool = False,
+        serialized_reconfig: bool = False,
+        topology: Optional["PortLand"] = None,
+    ):
+        if not apps:
+            raise ValueError("need at least one application")
+        self.config = config if config is not None else PlatformConfig()
+        self.env = Environment()
+        self.specs = {a.app_id: a for a in apps}
+
+        # --- access network ------------------------------------------------
+        self.internet = InternetSide(self.env)
+        for name, isp, ar, border, cap, cost in links:
+            if border not in self.internet.borders:
+                self.internet.add_border(border)
+            self.internet.add_access_link(name, isp, ar, border, cap, cost)
+        self.bgp = BGPAnnouncer(self.env, self.config.bgp_convergence_s)
+
+        # --- LB switch layer ---------------------------------------------------
+        if n_switches is None:
+            size = switches_needed(
+                len(apps),
+                float(np.mean([a.n_vips for a in apps])),
+                self.config.mean_rips_per_app,
+                self.config.switch_limits,
+            )
+            n_switches = max(4, size.required)
+        self.switches = {
+            f"lb-{i}": LBSwitch(f"lb-{i}", self.env, self.config.switch_limits)
+            for i in range(n_switches)
+        }
+
+        # --- DNS --------------------------------------------------------------
+        self.authority = AuthoritativeDNS(self.env, self.config.dns_ttl_s)
+        self.fluid_dns = FluidDNSModel(
+            self.authority,
+            violator_fraction=self.config.ttl_violator_fraction,
+            violation_factor=self.config.ttl_violation_factor,
+        )
+
+        # --- pods ----------------------------------------------------------------
+        self.state = PlatformState(self.internet, self.switches)
+        self.vip_pool = PUBLIC_VIP_POOL()
+        # Lazy recycling: a released RIP is not immediately reused while a
+        # serialized del_rip referencing it may still be queued.
+        self.rip_pool = PRIVATE_RIP_POOL(lazy_recycle=serialized_reconfig)
+        self.pod_managers: dict[str, PodManager] = {}
+        max_servers = pod_max_servers or self.config.pod_max_servers
+        max_vms = pod_max_vms or self.config.pod_max_vms
+        # Optional physical fabric: servers map onto PortLand hosts, VM
+        # RIPs register with the fabric manager (flat address space — the
+        # Section III-B premise that makes logical pods location-free).
+        self.topology = topology
+        self._server_host: dict[str, str] = {}
+        self._vmid_counter = 0
+        if topology is not None:
+            hosts = sorted(h.name for h in topology.hosts)
+            needed = n_pods * servers_per_pod
+            if len(hosts) < needed:
+                raise ValueError(
+                    f"topology has {len(hosts)} hosts; need {needed} servers"
+                )
+        spec = ServerSpec(
+            cpu_capacity=self.config.server_cpu, mem_gb=self.config.server_mem_gb
+        )
+        host_iter = iter(sorted(h.name for h in topology.hosts)) if topology else None
+        for p in range(n_pods):
+            pod = Pod(f"pod-{p}", max_servers=max_servers, max_vms=max_vms)
+            for s in range(servers_per_pod):
+                server = PhysicalServer(f"pod-{p}-s{s}", spec)
+                pod.add_server(server)
+                self.state.register_server(server)
+                if host_iter is not None:
+                    self._server_host[server.name] = next(host_iter)
+            controller = (
+                pod_controller_factory() if pod_controller_factory else None
+            )
+            self.pod_managers[pod.name] = PodManager(
+                pod,
+                self.rip_pool,
+                controller=controller,
+                on_start=self._wire_rip,
+                on_stop=self._unwire_rip,
+            )
+
+        # --- serialized VIP/RIP path (Section III-C) ----------------------------------
+        # With serialized_reconfig, every RIP (un)wiring after bootstrap
+        # goes through the global VIP/RIP manager's priority queue and
+        # pays the per-request decision + reconfiguration latency; the
+        # default instant mode mutates tables directly and only counts.
+        self.serialized_reconfig = serialized_reconfig
+        self.viprip: Optional[VipRipManager] = None
+        if serialized_reconfig:
+            self.viprip = VipRipManager(
+                self.env,
+                sorted(self.switches.values(), key=lambda s: s.name),
+                self.vip_pool,
+                reconfig_s=self.config.switch_reconfig_s,
+                hosting_lookup=lambda app: {
+                    v: self.state.vips[v].switch
+                    for v in self.state.app_vips.get(app, [])
+                },
+            )
+        # RIPs whose wiring request is queued but not applied yet; maps
+        # rip -> VM (dropped if the VM stops before the request lands).
+        self._pending_wirings: dict[str, VM] = {}
+        self._started = False  # set before bootstrap: wiring checks it
+
+        # --- initial VIPs, routes, instances ------------------------------------------
+        # VIPs whose exposure *we* zeroed because they had no serving RIP
+        # (as opposed to a deliberate K1/K2 drain): restored automatically
+        # once they serve again.
+        self._auto_drained: set[str] = set()
+        self._assign_vips()
+        self._bootstrap_instances()
+
+        # --- global manager ---------------------------------------------------------------
+        self.global_manager: Optional[GlobalManager] = None
+        if enable_global_manager:
+            self.global_manager = GlobalManager(
+                self.env,
+                self.config,
+                self.state,
+                self.authority,
+                self.fluid_dns,
+                self.pod_managers,
+                self.specs,
+                self.rip_pool,
+                exposure_policy=exposure_policy,
+                wire_rip=self._wire_rip,
+                unwire_rip=self._unwire_rip,
+                proactive_exposure=proactive_exposure,
+            )
+
+        # --- monitors -----------------------------------------------------------------------
+        self.pod_util = {
+            name: TimeSeries(self.env, f"util:{name}") for name in self.pod_managers
+        }
+        self.satisfied = TimeSeries(self.env, "satisfied-fraction")
+        self.link_imbalance = TimeSeries(self.env, "link-imbalance")
+        self.switch_imbalance = TimeSeries(self.env, "switch-imbalance")
+        self.reports_history: list[list[PodReport]] = []
+        self.epochs = 0
+
+    # ------------------------------------------------------------------ build
+    def _assign_vips(self) -> None:
+        """Allocate each app's VIPs, place them on switches, advertise each
+        on one access link, configure DNS."""
+        link_names = sorted(self.internet.links)
+        switch_list = sorted(self.switches.values(), key=lambda s: s.name)
+        li = 0
+        for app_id in sorted(self.specs):
+            spec = self.specs[app_id]
+            weights = {}
+            for _ in range(spec.n_vips):
+                switch = min(switch_list, key=lambda s: (s.num_vips, s.name))
+                vip = self.vip_pool.allocate()
+                switch.add_vip(vip, app_id)
+                link = link_names[li % len(link_names)]
+                li += 1
+                self.bgp.advertise_now(vip, link)
+                self.state.register_vip(vip, app_id, switch.name, link)
+                weights[vip] = 1.0
+            self.authority.configure(app_id, weights)
+
+    def _bootstrap_instances(self) -> None:
+        """Initial placement: spread each app's t=0 demand over pods
+        (always wired instantly: this is build-time configuration).
+
+        Apps sharing an ``affinity_group`` (tiers of one website) get the
+        same pod offset, so their covers coincide and backend traffic
+        stays intra-pod (Section II's co-placement).
+        """
+        pod_names = sorted(self.pod_managers)
+        pod_demand: dict[str, dict[str, float]] = {p: {} for p in pod_names}
+        ordered = sorted(self.specs)
+        group_offset: dict[str, int] = {}
+        for i, app_id in enumerate(ordered):
+            group = self.specs[app_id].affinity_group
+            if group is not None and group not in group_offset:
+                group_offset[group] = i
+        for idx, app_id in enumerate(ordered):
+            spec = self.specs[app_id]
+            if spec.affinity_group is not None:
+                idx = group_offset[spec.affinity_group]
+            cpu = spec.cpu_demand(0.0)
+            cover = max(
+                spec.min_instances,
+                min(len(pod_names), spec.instances_needed(0.0)),
+            )
+            cover = min(cover, len(pod_names))
+            share = cpu / cover if cover else 0.0
+            for j in range(cover):
+                pod = pod_names[(idx + j) % len(pod_names)]
+                pod_demand[pod][app_id] = pod_demand[pod].get(app_id, 0.0) + max(
+                    share, 1e-6
+                )
+        for pod, demand in pod_demand.items():
+            if demand:
+                self.pod_managers[pod].run_epoch(demand, self.specs, t=0.0)
+        for app_id in self.specs:
+            self._ensure_exposure(app_id)
+
+    # ---------------------------------------------------------------- RIP wiring
+    def _wire_rip(self, vm: VM) -> None:
+        """Configure a new instance's RIP under one of its app's VIPs.
+
+        Instant mode mutates the switch table directly; serialized mode
+        (Section III-C) submits a request to the VIP/RIP manager and
+        completes asynchronously — the instance starts serving only once
+        the request lands.
+        """
+        if vm.rip is None:
+            return
+        if self.viprip is not None and self._started:
+            self._pending_wirings[vm.rip] = vm
+            done = self.viprip.submit(
+                VipRipRequest("new_rip", vm.app, rip=vm.rip)
+            )
+            done.callbacks.append(lambda ev, vm=vm: self._on_wired(vm, ev))
+            return
+        # Only VIPs currently on their switch count (a VIP is briefly off
+        # both switches mid-K2-transfer).
+        vips = [
+            v
+            for v in self.state.app_vips.get(vm.app, [])
+            if self.state.switch_of_vip(v).has_vip(v)
+        ]
+        if not vips:
+            return
+        # Least-populated VIP group of the app.
+        vip = min(
+            vips, key=lambda v: (len(self.state.switch_of_vip(v).entry(v).rips), v)
+        )
+        # Join at the group's mean weight so a new instance neither starves
+        # nor undoes a K6 rebalancing of its siblings.
+        siblings = self.state.switch_of_vip(vip).entry(vip).rips
+        weight = (sum(siblings.values()) / len(siblings)) if siblings else 1.0
+        self.state.switch_of_vip(vip).add_rip(vip, vm.rip, weight=max(weight, 1e-6))
+        self.state.register_rip(vm.rip, vm.app, vip, vm)
+        self._fabric_register(vm)
+        if self.viprip is not None:
+            # Keep the manager's index authoritative for later del_rip.
+            self.viprip.rip_index[vm.rip] = (vip, self.state.vips[vip].switch)
+        self.state.reconfigurations += 1
+        self._ensure_exposure(vm.app)
+
+    def _on_wired(self, vm: VM, event) -> None:
+        """Completion of a serialized new_rip request."""
+        from repro.hosts.vm import VMState
+
+        mine = self._pending_wirings.get(vm.rip) is vm
+        if mine:
+            self._pending_wirings.pop(vm.rip, None)
+        result = event.value
+        if result is None:
+            return  # rejected: no hosting switch had capacity
+        vip, _switch = result
+        if not mine or vm.state != VMState.RUNNING or vm.host is None:
+            # The VM stopped (or the RIP was repurposed) while the request
+            # was queued: undo the switch entry.
+            self.viprip.submit(VipRipRequest("del_rip", vm.app, rip=vm.rip))
+            return
+        self.state.register_rip(vm.rip, vm.app, vip, vm)
+        self._fabric_register(vm)
+        self.state.reconfigurations += 1
+        self._ensure_exposure(vm.app)
+
+    def _unwire_rip(self, vm: VM) -> None:
+        if vm.rip is None:
+            return
+        if self.viprip is not None and self._started:
+            if self._pending_wirings.get(vm.rip) is vm:
+                # Wiring never landed; _on_wired will clean up the switch.
+                del self._pending_wirings[vm.rip]
+                return
+            if vm.rip not in self.state.rips:
+                return
+            self.state.unregister_rip(vm.rip)
+            self._fabric_unregister(vm)
+            self.viprip.submit(VipRipRequest("del_rip", vm.app, rip=vm.rip))
+            self.state.reconfigurations += 1
+            self._ensure_exposure(vm.app)
+            return
+        if vm.rip not in self.state.rips:
+            return
+        info = self.state.unregister_rip(vm.rip)
+        switch = self.state.switch_of_vip(info.vip)
+        try:
+            if switch.has_vip(info.vip):
+                switch.remove_rip(info.vip, vm.rip)
+        except KeyError:  # pragma: no cover - defensive
+            pass
+        self._fabric_unregister(vm)
+        if self.viprip is not None:
+            self.viprip.rip_index.pop(vm.rip, None)
+        self.state.reconfigurations += 1
+        self._ensure_exposure(vm.app)
+
+
+    def _fabric_register(self, vm: VM) -> None:
+        """Register a serving RIP with the PortLand fabric manager."""
+        if self.topology is None or vm.rip is None or vm.host is None:
+            return
+        host = self._server_host.get(vm.host)
+        if host is None:
+            return
+        self._vmid_counter += 1
+        self.topology.register_vm(vm.rip, host, vmid=self._vmid_counter)
+
+    def _fabric_unregister(self, vm: VM) -> None:
+        if self.topology is None or vm.rip is None:
+            return
+        self.topology.fabric_manager.unregister(vm.rip)
+
+    def locate_rip(self, rip: str):
+        """Physical host currently serving *rip* per the fabric manager
+        (None when no topology is attached or the RIP is unknown)."""
+        if self.topology is None:
+            return None
+        return self.topology.locate(rip)
+
+    def _ensure_exposure(self, app: str) -> None:
+        """Never answer DNS with a VIP that has no serving RIP."""
+        vips = self.state.app_vips.get(app, [])
+        if not vips:
+            return
+        current = self.authority.weights(app)
+        serving = {
+            v
+            for v in vips
+            if self.state.switch_of_vip(v).has_vip(v)
+            and self.state.switch_of_vip(v).entry(v).rips
+        }
+        if not serving:
+            return  # app fully down; keep old zone rather than crash
+        # Respect deliberate weight-0 drains (K1/K2) on serving VIPs; only
+        # zero out VIPs that genuinely cannot serve, and restore our own
+        # zeroes once the VIP serves again.
+        weights = {}
+        for v in vips:
+            if v in serving:
+                w = current.get(v, 1.0)
+                if w == 0 and v in self._auto_drained:
+                    w = 1.0
+                    self._auto_drained.discard(v)
+                weights[v] = w
+            else:
+                weights[v] = 0.0
+                self._auto_drained.add(v)
+        if all(w == 0 for w in weights.values()):
+            weights = {v: (1.0 if v in serving else 0.0) for v in vips}
+            self._auto_drained -= serving
+        if weights != current:
+            self.authority.configure(app, weights)
+
+    # ------------------------------------------------------------------- run
+    def run(self, duration_s: float) -> None:
+        """Advance the simulation by *duration_s* seconds."""
+        if not self._started:
+            self.env.process(self._epoch_loop())
+            self._started = True
+        self.env.run(until=self.env.now + duration_s)
+
+    def _epoch_loop(self):
+        while True:
+            self._run_epoch(self.env.now)
+            yield self.env.timeout(self.config.epoch_s)
+            self.fluid_dns.advance(self.config.epoch_s)
+
+    def _run_epoch(self, t: float) -> None:
+        pod_demand: dict[str, dict[str, float]] = {
+            p: defaultdict(float) for p in self.pod_managers
+        }
+        link_loads = {name: 0.0 for name in self.internet.links}
+        vip_traffic: dict[str, float] = {}
+        blackholed = 0.0
+
+        for sw in self.switches.values():
+            for vip in sw.vips():
+                sw.set_vip_traffic(vip, 0.0)
+
+        for app_id in sorted(self.specs):
+            spec = self.specs[app_id]
+            demand_gbps = spec.traffic_gbps(t)
+            if demand_gbps <= 0:
+                continue
+            for vip, share in self.fluid_dns.shares(app_id).items():
+                traffic = demand_gbps * share
+                if traffic <= 0:
+                    continue
+                vip_traffic[vip] = traffic
+                info = self.state.vips[vip]
+                link_loads[info.link] += traffic
+                switch = self.switches[info.switch]
+                if not switch.has_vip(vip):
+                    # Mid-transfer: residual laggard traffic is lost.
+                    blackholed += traffic
+                    continue
+                switch.set_vip_traffic(vip, traffic)
+                weights = switch.entry(vip).normalized_weights()
+                if not weights:
+                    blackholed += traffic
+                    continue
+                for rip, w in weights.items():
+                    pod = self.state.pod_of_rip(rip)
+                    if pod is None:
+                        blackholed += traffic * w
+                        continue
+                    pod_demand[pod][app_id] += traffic * w / spec.gbps_per_cpu
+
+        for name, load in link_loads.items():
+            self.internet.link(name).set_load(load)
+        self.state.vip_traffic = vip_traffic
+        self.state.blackholed_gbps = blackholed
+
+        reports = []
+        for name in sorted(self.pod_managers):
+            report = self.pod_managers[name].run_epoch(
+                dict(pod_demand[name]), self.specs, t=t
+            )
+            reports.append(report)
+            self.pod_util[name].observe(report.utilization)
+        self.reports_history.append(reports)
+
+        total_demand = sum(r.demand_cpu for r in reports)
+        total_satisfied = sum(r.satisfied_cpu for r in reports)
+        self.satisfied.observe(
+            total_satisfied / total_demand if total_demand > 0 else 1.0
+        )
+        self.link_imbalance.observe(max_mean_ratio(self.internet.utilizations()))
+        self.switch_imbalance.observe(
+            max_mean_ratio([s.utilization for s in self.switches.values()])
+        )
+
+        if self.global_manager is not None:
+            self.global_manager.react(reports, t)
+        self.epochs += 1
+
+    # ------------------------------------------------------------- accessors
+    def total_demand_gbps(self, t: Optional[float] = None) -> float:
+        t = self.env.now if t is None else t
+        return sum(s.traffic_gbps(t) for s in self.specs.values())
+
+    def link_utilizations(self) -> dict[str, float]:
+        return {n: l.utilization for n, l in self.internet.links.items()}
+
+    def switch_utilizations(self) -> dict[str, float]:
+        return {n: s.utilization for n, s in self.switches.items()}
+
+    def pod_utilizations(self) -> dict[str, float]:
+        return {n: m.pod.utilization for n, m in self.pod_managers.items()}
+
+    def action_log(self):
+        if self.global_manager is None:
+            return None
+        return self.global_manager.log
+
+    def invariants_ok(self) -> bool:
+        """Platform-wide hard invariants (used by E1 and integration tests)."""
+        for sw in self.switches.values():
+            if sw.num_vips > sw.limits.max_vips or sw.num_rips > sw.limits.max_rips:
+                return False
+        for manager in self.pod_managers.values():
+            for server in manager.pod.servers:
+                if server.cpu_allocated > server.spec.cpu_capacity + 1e-6:
+                    return False
+                if server.mem_allocated > server.spec.mem_gb + 1e-6:
+                    return False
+        for rip, info in self.state.rips.items():
+            if not info.vm.is_serving:
+                return False
+        return True

@@ -1,0 +1,34 @@
+"""The six control knobs of Section IV.
+
+| Knob | Section | Mechanism | Timescale |
+|------|---------|-----------|-----------|
+| K1 selective VIP exposure       | IV-A | DNS answer weights            | ~TTL      |
+| K2 dynamic VIP transfer         | IV-B | move VIP between LB switches  | drain+sec |
+| K3 server transfer between pods | IV-C | logical pod membership        | minutes   |
+| K4 dynamic application deploy   | IV-D | clone/migrate VMs across pods | minutes   |
+| K5 VM capacity adjustment       | IV-E | hypervisor slice resize       | seconds   |
+| K6 RIP weight adjustment        | IV-F | LB switch weights             | seconds   |
+"""
+
+from repro.core.knobs.base import ActionLog, ActionRecord
+from repro.core.knobs.exposure import NaiveReadvertisement, SelectiveVipExposure
+from repro.core.knobs.vip_transfer import TransferOutcome, VipTransfer
+from repro.core.knobs.server_transfer import ServerTransfer
+from repro.core.knobs.deployment import AppDeployment
+from repro.core.knobs.vm_capacity import VmCapacityAdjustment
+from repro.core.knobs.rip_weights import RipWeightAdjustment
+from repro.core.knobs.ladder import KnobLadder
+
+__all__ = [
+    "ActionLog",
+    "ActionRecord",
+    "SelectiveVipExposure",
+    "NaiveReadvertisement",
+    "VipTransfer",
+    "TransferOutcome",
+    "ServerTransfer",
+    "AppDeployment",
+    "VmCapacityAdjustment",
+    "RipWeightAdjustment",
+    "KnobLadder",
+]

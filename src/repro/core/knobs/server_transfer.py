@@ -1,0 +1,118 @@
+"""Knob K3: server transfer between pods (Section IV-C).
+
+Pods are logical, so giving an overloaded pod more resources means asking a
+lightly-loaded *donor* pod manager to vacate servers and handing them to
+the recipient.  Two guards implement the paper's elephant-pod rule:
+
+* a recipient at its size cap (servers or VMs) must not grow further;
+* a pod whose manager has become the bottleneck sheds servers *together
+  with their deployed instances*.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.core.knobs.base import ActionLog
+from repro.core.pod_manager import PodManager
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+
+class ServerTransfer:
+    """K3 executor."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        log: Optional[ActionLog] = None,
+        donor_threshold: float = 0.5,
+        handoff_s: float = 30.0,
+    ):
+        self.env = env
+        self.log = log if log is not None else ActionLog()
+        self.donor_threshold = donor_threshold
+        self.handoff_s = handoff_s
+
+    def pick_donor(
+        self, managers: Sequence[PodManager], exclude: Sequence[str] = ()
+    ) -> Optional[PodManager]:
+        """Least-utilized pod below the donor threshold, if any."""
+        candidates = [
+            m
+            for m in managers
+            if m.pod.name not in exclude
+            and m.pod.utilization < self.donor_threshold
+            and m.pod.n_servers > 1
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda m: (m.pod.utilization, m.pod.name))
+
+    def execute(self, donor: PodManager, recipient: PodManager, n: int):
+        """Simulation process: vacate *n* servers in the donor and hand
+        them over.  Returns the number actually transferred."""
+        if recipient.pod.at_capacity_limit:
+            self.log.record(
+                self.env.now,
+                "K3",
+                "refuse-elephant",
+                donor=donor.pod.name,
+                recipient=recipient.pod.name,
+            )
+            return 0
+        headroom = recipient.pod.max_servers - recipient.pod.n_servers
+        n = min(n, headroom)
+        if n <= 0:
+            return 0
+        vacated = donor.vacate(n)
+        if not vacated:
+            return 0
+        yield self.env.timeout(self.handoff_s)
+        for server in vacated:
+            recipient.pod.add_server(server)
+        self.log.record(
+            self.env.now,
+            "K3",
+            "transfer",
+            donor=donor.pod.name,
+            recipient=recipient.pod.name,
+            servers=[s.name for s in vacated],
+        )
+        return len(vacated)
+
+    def relieve_elephant(
+        self, elephant: PodManager, recipient: PodManager, n: int
+    ):
+        """Move *loaded* servers (with their instances) out of an elephant
+        pod to shrink its manager's decision space (Section IV-C/D).
+
+        Simulation process; returns servers moved.
+        """
+        moved = 0
+        # Busiest servers first: they carry the most decision-space weight.
+        servers = sorted(
+            elephant.pod.servers, key=lambda s: (-s.cpu_allocated, s.name)
+        )
+        for server in servers:
+            if moved >= n:
+                break
+            if recipient.pod.at_capacity_limit:
+                break
+            if elephant.pod.n_servers <= 1:
+                break
+            elephant.pod.remove_server(server.name)
+            recipient.pod.add_server(server)
+            moved += 1
+        if moved:
+            yield self.env.timeout(self.handoff_s)
+            self.log.record(
+                self.env.now,
+                "K3",
+                "relieve-elephant",
+                elephant=elephant.pod.name,
+                recipient=recipient.pod.name,
+                servers=moved,
+            )
+        return moved

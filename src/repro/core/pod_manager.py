@@ -1,0 +1,258 @@
+"""The server pod manager (Section III-A).
+
+A pod manager "only knows the servers and applications of its pod".  Each
+epoch it receives the CPU demand the global manager's routing has assigned
+to its pod per application, solves an intra-pod placement problem with a
+pluggable controller (greedy/agile by default, Tang's exact controller
+optionally) and applies the result: boots/stops instance VMs and sets their
+CPU slices (the intra-pod use of knob K5).
+
+The *measured* decision wall time is reported — that is the quantity that
+blows up when a pod grows too large (the elephant-pod problem, E2/E6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional
+
+import numpy as np
+
+from repro.core.pod import Pod
+from repro.hosts.migration import MigrationStats
+from repro.hosts.server import PhysicalServer
+from repro.hosts.vm import VM, VMState
+from repro.lbswitch.addresses import AddressPool
+from repro.placement.greedy import GreedyController
+from repro.placement.problem import PlacementProblem
+from repro.workload.apps import AppSpec
+
+
+@dataclass
+class PodReport:
+    """What a pod manager tells the global manager after an epoch."""
+
+    pod: str
+    t: float
+    demand_cpu: float
+    satisfied_cpu: float
+    changes: int
+    decision_time_s: float
+    utilization: float
+    n_servers: int
+    n_vms: int
+
+    @property
+    def satisfied_fraction(self) -> float:
+        if self.demand_cpu <= 0:
+            return 1.0
+        return self.satisfied_cpu / self.demand_cpu
+
+    @property
+    def overloaded(self) -> bool:
+        """Demand exceeded what the pod could serve."""
+        return self.satisfied_fraction < 0.999
+
+
+class PodManager:
+    """Local resource manager of one pod."""
+
+    def __init__(
+        self,
+        pod: Pod,
+        rip_pool: AddressPool,
+        controller=None,
+        on_start: Optional[Callable[[VM], None]] = None,
+        on_stop: Optional[Callable[[VM], None]] = None,
+    ):
+        self.pod = pod
+        self.rip_pool = rip_pool
+        self.controller = controller if controller is not None else GreedyController()
+        self.on_start = on_start
+        self.on_stop = on_stop
+        self.migration_stats = MigrationStats()
+        self.epochs_run = 0
+        self.last_report: Optional[PodReport] = None
+
+    # -- epoch ------------------------------------------------------------
+    def run_epoch(
+        self,
+        assigned_cpu: Mapping[str, float],
+        specs: Mapping[str, AppSpec],
+        t: float = 0.0,
+    ) -> PodReport:
+        """Re-place and re-size this pod's VMs for the assigned demand.
+
+        Parameters
+        ----------
+        assigned_cpu:
+            app_id -> CPU demand routed to this pod this epoch.
+        specs:
+            Application specs (for per-instance memory etc.).  Must cover
+            every app in *assigned_cpu* and every app with a VM here.
+        """
+        servers = self.pod.servers
+        apps = sorted(set(assigned_cpu) | self.pod.apps_covered())
+        missing = [a for a in apps if a not in specs]
+        if missing:
+            raise KeyError(f"missing app specs: {missing}")
+        problem = self._build_problem(servers, apps, assigned_cpu, specs)
+        solution = self.controller.solve(problem)
+        changes = self._apply(servers, apps, problem, solution, specs)
+        self.epochs_run += 1
+        report = PodReport(
+            pod=self.pod.name,
+            t=t,
+            demand_cpu=float(problem.total_demand),
+            satisfied_cpu=float(solution.satisfied().sum()),
+            changes=changes,
+            decision_time_s=solution.wall_time_s,
+            utilization=self.pod.utilization,
+            n_servers=self.pod.n_servers,
+            n_vms=self.pod.n_vms,
+        )
+        self.last_report = report
+        return report
+
+    def _build_problem(
+        self,
+        servers: list[PhysicalServer],
+        apps: list[str],
+        assigned_cpu: Mapping[str, float],
+        specs: Mapping[str, AppSpec],
+    ) -> PlacementProblem:
+        s_count, a_count = len(servers), len(apps)
+        current = np.zeros((s_count, a_count), dtype=bool)
+        app_index = {a: j for j, a in enumerate(apps)}
+        for i, server in enumerate(servers):
+            for vm in server.vms:
+                if vm.state != VMState.STOPPED:
+                    current[i, app_index[vm.app]] = True
+        return PlacementProblem(
+            server_cpu=np.asarray([s.spec.cpu_capacity for s in servers]),
+            server_mem=np.asarray([s.spec.mem_gb for s in servers]),
+            app_cpu_demand=np.asarray(
+                [float(assigned_cpu.get(a, 0.0)) for a in apps]
+            ),
+            app_mem=np.asarray([specs[a].vm_mem_gb for a in apps]),
+            current=current,
+        )
+
+    def _apply(
+        self,
+        servers: list[PhysicalServer],
+        apps: list[str],
+        problem: PlacementProblem,
+        solution,
+        specs: Mapping[str, AppSpec],
+    ) -> int:
+        """Realize the solution on the pod's servers; returns change count."""
+        changes = 0
+        app_index = {a: j for j, a in enumerate(apps)}
+        for i, server in enumerate(servers):
+            placed_now = {vm.app for vm in server.vms if vm.state != VMState.STOPPED}
+            # Stops first: a start on this server may need the memory a
+            # stopped instance frees.
+            for j, app in enumerate(apps):
+                if placed_now.__contains__(app) and not solution.placement[i, j]:
+                    vm = server.vms_of(app)[0]
+                    server.detach(vm.vm_id)
+                    vm.state = VMState.STOPPED
+                    if vm.rip is not None:
+                        self.rip_pool.release(vm.rip)
+                    changes += 1
+                    if self.on_stop:
+                        self.on_stop(vm)
+            for j, app in enumerate(apps):
+                if solution.placement[i, j] and app not in placed_now:
+                    vm = VM(
+                        vm_id=f"{app}@{server.name}",
+                        app=app,
+                        cpu_slice=0.0,  # sized below
+                        mem_gb=specs[app].vm_mem_gb,
+                        image_gb=specs[app].vm_image_gb,
+                        state=VMState.RUNNING,
+                        rip=self.rip_pool.allocate(),
+                    )
+                    server.attach(vm)
+                    changes += 1
+                    if self.on_start:
+                        self.on_start(vm)
+            # Size every remaining instance to its assigned load (K5).
+            # Shrinks first so a grow never transiently exceeds capacity.
+            resizes = [
+                (vm, float(solution.load[i, app_index[vm.app]]))
+                for vm in server.vms
+            ]
+            resizes.sort(key=lambda pair: pair[1] - pair[0].cpu_slice)
+            for vm, new_slice in resizes:
+                server.resize(vm.vm_id, new_slice)
+        return changes
+
+    # -- K3 support: vacating servers -----------------------------------------
+    def vacate(self, n: int) -> list[PhysicalServer]:
+        """Empty up to *n* least-loaded servers for donation (knob K3).
+
+        VM load is folded back into the remaining servers' spare capacity
+        where possible; instances that do not fit are stopped (their demand
+        re-enters the placement problem next epoch).  Each moved VM counts
+        as a migration in :attr:`migration_stats`.
+        """
+        if n < 1:
+            return []
+        candidates = sorted(self.pod.servers, key=lambda s: (s.cpu_allocated, s.name))
+        vacated: list[PhysicalServer] = []
+        for server in candidates:
+            if len(vacated) >= n:
+                break
+            receivers = [
+                s for s in self.pod.servers if s is not server and s not in vacated
+            ]
+            moved_all = True
+            for vm in list(server.vms):
+                target = self._find_receiver(receivers, vm)
+                if target is None:
+                    moved_all = False
+                    break
+                server.detach(vm.vm_id)
+                # Rename to keep vm_id = app@server unique per server.
+                vm.vm_id = f"{vm.app}@{target.name}"
+                if target.vms_of(vm.app):
+                    # Already an instance there: merge the load instead
+                    # (clamped — cpu_free can be a hair negative from
+                    # accumulated float rounding).
+                    existing = target.vms_of(vm.app)[0]
+                    merged = max(
+                        0.0,
+                        min(
+                            existing.cpu_slice + vm.cpu_slice,
+                            existing.cpu_slice + target.cpu_free,
+                        ),
+                    )
+                    target.resize(existing.vm_id, merged)
+                    vm.state = VMState.STOPPED
+                    if vm.rip is not None:
+                        self.rip_pool.release(vm.rip)
+                        if self.on_stop:
+                            self.on_stop(vm)
+                else:
+                    target.attach(vm)
+                self.migration_stats.migrations += 1
+                self.migration_stats.bytes_copied_gb += vm.image_gb
+            if moved_all and server.is_empty:
+                vacated.append(server)
+        for server in vacated:
+            self.pod.remove_server(server.name)
+        return vacated
+
+    @staticmethod
+    def _find_receiver(receivers: list[PhysicalServer], vm: VM):
+        """Best-fit receiving server for a migrating VM."""
+        best = None
+        for s in receivers:
+            if s.vms_of(vm.app):
+                return s  # merge path: no new memory needed
+            if s.can_fit(vm.cpu_slice, vm.mem_gb):
+                if best is None or s.cpu_free < best.cpu_free:
+                    best = s  # tightest fit
+        return best

@@ -1,0 +1,98 @@
+"""Analytic fabric sizing (Sections III-B and V-A).
+
+Pure functions reproducing the paper's arithmetic:
+
+* "Even when each application is assigned only two VIPs, the number of
+  required LB switches is at least 300,000 * 2 / 4,000 = 150, which can
+  provide about 600 Gbps aggregate external bandwidth."
+* "given our target of 300K applications with 3 VIPs and 20 RIPs per
+  application, we need only max(((300K*3)/4000), ((300K*20)/16000)) = 375
+  LB switches."
+* The VIP-allocation decision space: each of the ``A*k`` VIPs can sit on
+  any of ``L`` switches, i.e. ``L**(A*k)`` configurations — reported as a
+  log10 because the number itself is astronomical (the paper's point).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.lbswitch.switch import SwitchLimits
+
+
+@dataclass(frozen=True)
+class FabricSize:
+    """Result of a sizing computation."""
+
+    n_apps: int
+    vips_per_app: float
+    rips_per_app: float
+    by_vips: int
+    by_rips: int
+    required: int
+    aggregate_gbps: float
+
+
+def switches_needed(
+    n_apps: int,
+    vips_per_app: float,
+    rips_per_app: float,
+    limits: SwitchLimits = SwitchLimits(),
+) -> FabricSize:
+    """Minimum LB switches for the given population, and their bandwidth."""
+    if n_apps < 1:
+        raise ValueError("n_apps must be >= 1")
+    if vips_per_app < 1 or rips_per_app < 0:
+        raise ValueError("per-app counts out of range")
+    by_vips = math.ceil(n_apps * vips_per_app / limits.max_vips)
+    by_rips = math.ceil(n_apps * rips_per_app / limits.max_rips)
+    required = max(by_vips, by_rips)
+    return FabricSize(
+        n_apps=n_apps,
+        vips_per_app=vips_per_app,
+        rips_per_app=rips_per_app,
+        by_vips=by_vips,
+        by_rips=by_rips,
+        required=required,
+        aggregate_gbps=aggregate_lb_bandwidth_gbps(required, limits),
+    )
+
+
+def aggregate_lb_bandwidth_gbps(
+    n_switches: int, limits: SwitchLimits = SwitchLimits()
+) -> float:
+    """Total layer-4 throughput of the LB layer."""
+    if n_switches < 0:
+        raise ValueError("n_switches must be non-negative")
+    return n_switches * limits.throughput_gbps
+
+
+def lb_layer_is_bottleneck(
+    n_switches: int,
+    total_dc_traffic_gbps: float,
+    external_fraction: float = 0.2,
+    limits: SwitchLimits = SwitchLimits(),
+) -> bool:
+    """Does external traffic exceed the LB layer's aggregate capacity?
+
+    Only the external ~20 % of traffic crosses the LB layer (Section
+    III-B); intra-DC traffic flows below it.
+    """
+    return (
+        total_dc_traffic_gbps * external_fraction
+        > aggregate_lb_bandwidth_gbps(n_switches, limits)
+    )
+
+
+def vip_allocation_state_space_log10(
+    n_apps: int, n_switches: int, vips_per_app: float
+) -> float:
+    """log10 of the number of VIP->switch placements: ``L ** (A*k)``.
+
+    For the paper's 300K apps, 400 switches, 3 VIPs/app this is ~10^2.3M —
+    the scale that motivates the switch-pod hierarchy of Section V-A.
+    """
+    if n_apps < 1 or n_switches < 1 or vips_per_app < 1:
+        raise ValueError("all arguments must be >= 1")
+    return n_apps * vips_per_app * math.log10(n_switches)

@@ -1,0 +1,202 @@
+"""The VIP/RIP manager (Section III-C).
+
+All LB switches are a globally shared resource; every component that needs
+a VIP/RIP (re)configuration — pod managers, the global manager's own
+balancers — submits a request here.  The manager *serializes* the requests
+and processes them by priority: for a new VIP it picks an underloaded
+switch and allocates an address; for a new RIP it picks the most
+appropriate switch among those hosting one of the application's VIPs.
+
+Decision cost is charged through the pluggable switch-selection strategy
+(flat scan vs. switch pods — Section V-A), and the actual table write costs
+one switch-reconfiguration latency.  Experiment E9 measures the resulting
+sustained request throughput.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from itertools import count
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.core.switch_pods import FlatSwitchManager, Selection
+from repro.lbswitch.addresses import AddressPool
+from repro.lbswitch.switch import LBSwitch
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+
+@dataclass
+class VipRipRequest:
+    """One configuration request.
+
+    ``kind`` is one of ``new_vip``, ``new_rip``, ``del_vip``, ``del_rip``,
+    ``set_weight``.  Lower ``priority`` runs earlier.
+    """
+
+    kind: str
+    app: str
+    priority: int = 10
+    vip: Optional[str] = None
+    rip: Optional[str] = None
+    weight: float = 1.0
+    done: Optional[Event] = field(default=None, repr=False)
+    result: Any = None
+
+    _KINDS = ("new_vip", "new_rip", "del_vip", "del_rip", "set_weight")
+
+    def __post_init__(self):
+        if self.kind not in self._KINDS:
+            raise ValueError(f"unknown request kind {self.kind!r}")
+
+
+class VipRipManager:
+    """Serialized processor of VIP/RIP configuration requests."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        switches: list[LBSwitch],
+        vip_pool: AddressPool,
+        selector=None,
+        reconfig_s: float = 3.0,
+        hosting_lookup=None,
+    ):
+        self.env = env
+        self.switches = {s.name: s for s in switches}
+        self.vip_pool = vip_pool
+        self.selector = selector if selector is not None else FlatSwitchManager(switches)
+        self.reconfig_s = reconfig_s
+        #: Optional callable ``app -> {vip: switch_name}`` overriding the
+        #: internal registry for RIP placement — used when an external
+        #: component (the datacenter facade) owns VIP placement.
+        self.hosting_lookup = hosting_lookup
+        # app -> {vip -> switch name}
+        self.registry: dict[str, dict[str, str]] = {}
+        # rip -> (vip, switch name)
+        self.rip_index: dict[str, tuple[str, str]] = {}
+        self.processed = 0
+        self.rejected = 0
+        self.busy_s = 0.0
+        self._heap: list[tuple[int, int, VipRipRequest]] = []
+        self._seq = count()
+        self._wake: Optional[Event] = None
+        self._proc = env.process(self._run())
+
+    # -- client API ---------------------------------------------------------
+    def submit(self, request: VipRipRequest) -> Event:
+        """Queue a request; the returned event fires with the result."""
+        request.done = Event(self.env)
+        heapq.heappush(self._heap, (request.priority, next(self._seq), request))
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+        return request.done
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._heap)
+
+    def switch_of_vip(self, app: str, vip: str) -> LBSwitch:
+        return self.switches[self.registry[app][vip]]
+
+    def vips_of(self, app: str) -> dict[str, str]:
+        """app's VIPs -> hosting switch name."""
+        return dict(self.registry.get(app, {}))
+
+    # -- processor -------------------------------------------------------------
+    def _run(self):
+        while True:
+            while not self._heap:
+                self._wake = Event(self.env)
+                yield self._wake
+            _, _, req = heapq.heappop(self._heap)
+            started = self.env.now
+            yield from self._process(req)
+            self.busy_s += self.env.now - started
+            self.processed += 1
+            if req.done is not None and not req.done.triggered:
+                req.done.succeed(req.result)
+
+    def _process(self, req: VipRipRequest):
+        handler = getattr(self, f"_do_{req.kind}")
+        yield from handler(req)
+
+    def _charge(self, selection: Selection):
+        if selection.cost_s > 0:
+            yield self.env.timeout(selection.cost_s)
+
+    def _do_new_vip(self, req: VipRipRequest):
+        selection = self.selector.select_for_vip()
+        yield from self._charge(selection)
+        if selection.switch is None:
+            self.rejected += 1
+            req.result = None
+            return
+        vip = self.vip_pool.allocate()
+        yield self.env.timeout(self.reconfig_s)
+        selection.switch.add_vip(vip, req.app)
+        self.registry.setdefault(req.app, {})[vip] = selection.switch.name
+        req.result = (vip, selection.switch.name)
+
+    def _do_new_rip(self, req: VipRipRequest):
+        if self.hosting_lookup is not None:
+            vip_map = self.hosting_lookup(req.app)
+        else:
+            vip_map = self.registry.get(req.app, {})
+        # A VIP can be mid-transfer (off both switches); only switches
+        # actually holding one of the app's VIPs can take the RIP.
+        hosting = [
+            s
+            for s in (self.switches[name] for name in vip_map.values())
+            if s.vips_of_app(req.app)
+        ]
+        selection = self.selector.select_for_rip(hosting)
+        yield from self._charge(selection)
+        if selection.switch is None or req.rip is None:
+            self.rejected += 1
+            req.result = None
+            return
+        # The chosen switch hosts >= 1 VIP of the app; put the RIP under
+        # the least-loaded of them.
+        vips = selection.switch.vips_of_app(req.app)
+        vip = min(vips, key=lambda v: len(selection.switch.entry(v).rips))
+        yield self.env.timeout(self.reconfig_s)
+        selection.switch.add_rip(vip, req.rip, req.weight)
+        self.rip_index[req.rip] = (vip, selection.switch.name)
+        req.result = (vip, selection.switch.name)
+
+    def _do_del_vip(self, req: VipRipRequest):
+        if req.vip is None or req.app not in self.registry:
+            self.rejected += 1
+            return
+        switch_name = self.registry[req.app].pop(req.vip, None)
+        if switch_name is None:
+            self.rejected += 1
+            return
+        yield self.env.timeout(self.reconfig_s)
+        entry = self.switches[switch_name].remove_vip(req.vip)
+        for rip in entry.rips:
+            self.rip_index.pop(rip, None)
+        self.vip_pool.release(req.vip)
+        req.result = switch_name
+
+    def _do_del_rip(self, req: VipRipRequest):
+        if req.rip is None or req.rip not in self.rip_index:
+            self.rejected += 1
+            return
+        vip, switch_name = self.rip_index.pop(req.rip)
+        yield self.env.timeout(self.reconfig_s)
+        self.switches[switch_name].remove_rip(vip, req.rip)
+        req.result = (vip, switch_name)
+
+    def _do_set_weight(self, req: VipRipRequest):
+        if req.rip is None or req.rip not in self.rip_index:
+            self.rejected += 1
+            return
+        vip, switch_name = self.rip_index[req.rip]
+        yield self.env.timeout(self.reconfig_s)
+        self.switches[switch_name].set_rip_weight(vip, req.rip, req.weight)
+        req.result = (vip, switch_name)

@@ -1,0 +1,78 @@
+"""Exposure policies: how the global manager sets DNS VIP weights.
+
+Each policy maps an application's VIPs — each pinned (via its advertisement)
+to an access link — to exposure weights, given the current link state.
+These are the "appropriate VIPs" policies of Section IV-A.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping
+
+from repro.network.links import AccessLink
+
+
+class ExposurePolicy(abc.ABC):
+    """Strategy interface for computing VIP exposure weights."""
+
+    @abc.abstractmethod
+    def weights(
+        self, vip_links: Mapping[str, AccessLink]
+    ) -> dict[str, float]:
+        """Return exposure weight per VIP given each VIP's access link."""
+
+
+class UniformPolicy(ExposurePolicy):
+    """Expose all VIPs equally (the no-traffic-engineering baseline)."""
+
+    def weights(self, vip_links: Mapping[str, AccessLink]) -> dict[str, float]:
+        return {vip: 1.0 for vip in vip_links}
+
+
+class InverseUtilizationPolicy(ExposurePolicy):
+    """Weight VIPs by the *absolute* spare capacity of their access link
+    (spare fraction times capacity, in Gbps).
+
+    Weighting by absolute headroom rather than spare fraction matters for
+    stability: a small link that happens to be idle must not attract more
+    traffic than it can absorb.  An overloaded link's VIPs fade toward zero
+    exposure; a link at or above ``cutoff`` utilization is not exposed at
+    all (unless every link is, in which case weights fall back to uniform
+    to keep the app resolvable).
+    """
+
+    def __init__(self, cutoff: float = 0.95):
+        if cutoff <= 0:
+            raise ValueError("cutoff must be positive")
+        self.cutoff = cutoff
+
+    def weights(self, vip_links: Mapping[str, AccessLink]) -> dict[str, float]:
+        w = {}
+        for vip, link in vip_links.items():
+            spare = max(0.0, self.cutoff - link.utilization)
+            w[vip] = spare * link.capacity_gbps
+        if all(v == 0 for v in w.values()):
+            return {vip: 1.0 for vip in vip_links}
+        return w
+
+
+class CheapestLinkPolicy(ExposurePolicy):
+    """Prefer cheap links (the paper's 'different link usage costs'
+    business requirement), falling back to spare capacity as tiebreak.
+
+    Weight = spare_fraction / cost; links above the utilization cutoff get
+    zero.
+    """
+
+    def __init__(self, cutoff: float = 0.95):
+        self.cutoff = cutoff
+
+    def weights(self, vip_links: Mapping[str, AccessLink]) -> dict[str, float]:
+        w = {}
+        for vip, link in vip_links.items():
+            spare = max(0.0, self.cutoff - link.utilization)
+            w[vip] = spare * link.capacity_gbps / max(link.cost_per_gbps, 1e-9)
+        if all(v == 0 for v in w.values()):
+            return {vip: 1.0 for vip in vip_links}
+        return w

@@ -1,0 +1,288 @@
+"""Ablations of the design choices DESIGN.md §5 calls out.
+
+* **A1 pod size** — the ≤5,000-server cap is a knob: larger pods give the
+  placement controller more freedom (quality up) but a bigger decision
+  space (time up).  Sweep the pod size on a fixed fleet.
+* **A2 exposure-before-transfer** — K2's drain step: transfer a VIP without
+  draining and every pinned session breaks; drain first and (almost) none
+  do, at the cost of waiting.
+* **A3 K1 damping** — the exposure controller blends new weights with old;
+  zero damping reacts fastest but overshoots with laggy clients, heavy
+  damping converges slowly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.reporting import Table
+from repro.experiments.e02_placement_scalability import make_instance, split_into_pods
+from repro.experiments.e04_selective_exposure import ExposureScenario
+from repro.lbswitch.conntrack import ConnectionTable
+from repro.placement import GreedyController, TangController, evaluate_solution
+from repro.sim import Environment, RngHub
+
+
+# ------------------------------------------------------------- A1 pod size
+
+
+@dataclass
+class A1Result:
+    rows: list[tuple] = field(default_factory=list)
+
+    def table(self) -> Table:
+        t = Table(
+            "A1 — pod size: decision time vs placement quality (Tang in-pod)",
+            ["pod size", "pods", "max pod decision (s)", "total (s)", "satisfied"],
+        )
+        for row in self.rows:
+            t.add_row(*row)
+        t.add_note(
+            "the paper caps pods at 5,000 servers / 10,000 VMs: past the "
+            "knee, bigger pods buy little quality for superlinear time"
+        )
+        return t
+
+
+def run_pod_size(
+    n_servers: int = 400,
+    pod_sizes: tuple[int, ...] = (25, 50, 100, 200, 400),
+    load_factor: float = 0.9,
+    seed: int = 0,
+) -> A1Result:
+    problem = make_instance(n_servers, load_factor=load_factor, seed=seed)
+    result = A1Result()
+    controller = TangController()
+    for size in pod_sizes:
+        pods = split_into_pods(problem, size)
+        times, satisfied, demand = [], 0.0, 0.0
+        for pod_problem in pods:
+            sol = controller.solve(pod_problem)
+            evaluate_solution(pod_problem, sol)
+            times.append(sol.wall_time_s)
+            satisfied += sol.satisfied().sum()
+            demand += pod_problem.total_demand
+        result.rows.append(
+            (
+                size,
+                len(pods),
+                round(max(times), 3),
+                round(sum(times), 3),
+                round(satisfied / demand, 4),
+            )
+        )
+    return result
+
+
+# ----------------------------------------------- A2 drain-first vs blind K2
+
+
+@dataclass
+class A2Result:
+    rows: list[tuple] = field(default_factory=list)
+
+    def table(self) -> Table:
+        t = Table(
+            "A2 — K2 with vs without the exposure-first drain",
+            ["strategy", "trials", "mean sessions broken", "mean transfer wait (s)"],
+        )
+        for row in self.rows:
+            t.add_row(*row)
+        t.add_note(
+            "paper: 'a VIP cannot be blindly transferred ... packets of the "
+            "same TCP session must arrive to the same RIP'"
+        )
+        return t
+
+
+def _a2_trial(seed: int, drain_first: bool, timeout_s: float = 600.0):
+    """One session-level trial; returns (sessions broken, wait time)."""
+    from repro.experiments.e05_vip_transfer import pause_trial
+
+    if drain_first:
+        outcome = pause_trial(seed, violator_fraction=0.05, timeout_s=timeout_s)
+        if outcome.paused:
+            return 0, outcome.time_to_pause_s
+        # Timeout: a forced move breaks the laggard residue still pinned.
+        return outcome.sessions_at_timeout, timeout_s
+    return _a2_blind_count(seed, at=200.0), 0.0
+
+
+def _a2_blind_count(seed: int, at: float) -> int:
+    """Sessions alive at time *at* in the same arrival process — the count
+    a blind transfer would break."""
+    env = Environment()
+    rng = RngHub(seed).stream("pause-trial")  # same stream as pause_trial
+    table = ConnectionTable()
+    state = {"next": 0}
+
+    def arrivals():
+        while True:
+            yield env.timeout(float(rng.exponential(1.0 / 3.0)))
+            if rng.random() < 1.0:  # share==0.5 doubled, as in pause_trial
+                cid = state["next"]
+                state["next"] += 1
+                table.open(cid, "vip1", "r", env.now)
+                env.process(session(cid))
+
+    def session(cid):
+        yield env.timeout(float(rng.exponential(30.0)))
+        table.close(cid)
+
+    env.process(arrivals())
+    env.run(until=at)
+    return table.count_for_vip("vip1")
+
+
+def run_drain_ablation(trials: int = 10) -> A2Result:
+    result = A2Result()
+    for drain_first in (False, True):
+        broken, waits = [], []
+        for seed in range(trials):
+            b, w = _a2_trial(seed, drain_first)
+            broken.append(b)
+            waits.append(w)
+        result.rows.append(
+            (
+                "drain-first (K1 then move)" if drain_first else "blind transfer",
+                trials,
+                round(float(np.mean(broken)), 1),
+                round(float(np.mean(waits)), 1),
+            )
+        )
+    return result
+
+
+# ------------------------------------------------------------ A3 K1 damping
+
+
+@dataclass
+class A3Result:
+    rows: list[tuple] = field(default_factory=list)
+
+    def table(self) -> Table:
+        t = Table(
+            "A3 — K1 exposure damping: reaction speed vs overshoot",
+            ["damping", "time-to-relief (s)", "peak util", "re-overload events"],
+        )
+        for row in self.rows:
+            t.add_row(*row)
+        t.add_note(
+            "damping blends old weights in; 0 reacts fastest but overshoots "
+            "against client-side TTL lag"
+        )
+        return t
+
+
+def run_damping_ablation(
+    dampings: tuple[float, ...] = (0.0, 0.5, 0.8), duration_s: float = 2400.0
+) -> A3Result:
+    result = A3Result()
+    for damping in dampings:
+        scenario = ExposureScenario("k1")
+        scenario.k1.damping = damping
+        scenario.run(duration_s)
+        # Count re-overload events: upward crossings of the threshold
+        # after the first relief.
+        series = scenario.util_series["link-a"]
+        values = series.values()
+        times = series.times()
+        crossings = 0
+        relieved = False
+        for t, v in zip(times, values):
+            if t <= scenario.spike_at:
+                continue
+            if relieved and v > scenario.overload_threshold:
+                crossings += 1
+                relieved = False
+            elif v <= scenario.overload_threshold:
+                relieved = True
+        result.rows.append(
+            (
+                damping,
+                round(scenario.relief_time, 1)
+                if math.isfinite(scenario.relief_time)
+                else "never",
+                round(scenario.peak_util, 3),
+                crossings,
+            )
+        )
+    return result
+
+
+# ------------------------------------- A4 compartmentalization (Section I-A)
+
+
+@dataclass
+class A4Result:
+    rows: list[tuple] = field(default_factory=list)
+    threshold: float = 0.85
+
+    def table(self) -> Table:
+        t = Table(
+            "A4 — compartmentalizing the LB fabric vs a shared pool (statistical multiplexing)",
+            ["organization", "mean peak util", "p99 peak util", f"P(overload > {self.threshold})"],
+        )
+        for row in self.rows:
+            t.add_row(*row)
+        t.add_note(
+            "paper §I-A: partitioning applications among switches "
+            "'compartmentalizes the data center resources and diminishes "
+            "the benefits of statistical multiplexing'"
+        )
+        return t
+
+
+def _peak_util_lpt(demands: np.ndarray, n_switches: int, capacity: float) -> float:
+    """Longest-processing-time assignment: peak switch utilization."""
+    loads = np.zeros(n_switches)
+    for d in np.sort(demands)[::-1]:
+        i = int(np.argmin(loads))
+        loads[i] += d
+    return float(loads.max() / capacity)
+
+
+def run_compartmentalization(
+    n_apps: int = 240,
+    n_switches: int = 24,
+    n_groups: int = 8,
+    mean_total_gbps: float = 56.0,
+    capacity: float = 4.0,
+    trials: int = 300,
+    threshold: float = 0.85,
+    seed: int = 0,
+) -> A4Result:
+    """Random lognormal demands; assign apps to switches pooled vs
+    partitioned into *n_groups* compartments of equal switch count."""
+    if n_switches % n_groups:
+        raise ValueError("n_groups must divide n_switches")
+    rng = np.random.default_rng(seed)
+    base = rng.lognormal(0.0, 0.8, n_apps)
+    base = base / base.sum() * mean_total_gbps
+    group_of = np.arange(n_apps) % n_groups
+    per_group = n_switches // n_groups
+
+    result = A4Result(threshold=threshold)
+    peaks = {"shared pool": [], "partitioned": []}
+    for _ in range(trials):
+        demand = base * rng.lognormal(0.0, 0.5, n_apps)
+        peaks["shared pool"].append(_peak_util_lpt(demand, n_switches, capacity))
+        group_peaks = [
+            _peak_util_lpt(demand[group_of == g], per_group, capacity)
+            for g in range(n_groups)
+        ]
+        peaks["partitioned"].append(max(group_peaks))
+    for name in ("shared pool", "partitioned"):
+        arr = np.asarray(peaks[name])
+        result.rows.append(
+            (
+                name,
+                round(float(arr.mean()), 3),
+                round(float(np.percentile(arr, 99)), 3),
+                round(float((arr > threshold).mean()), 3),
+            )
+        )
+    return result

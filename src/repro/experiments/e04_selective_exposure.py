@@ -1,0 +1,320 @@
+"""E4 — selective VIP exposure vs. naive BGP re-advertisement (Section IV-A).
+
+Paper claims: "with selective VIP exposing, overloaded links are relieved
+as soon as DNS starts exposing new VIPs, and routing updates are
+infrequent", whereas "load balancing based on [...] dynamic VIP
+advertising is slow and increases the number of route updates".
+
+Scenario: four access links, one of them smaller; a demand surge at
+``spike_at`` pushes the small link over the overload threshold.  The K1
+strategy reweights DNS answers; the naive strategy re-advertises VIPs over
+BGP (advertise new + pad old + drain + withdraw = 3 updates each).  We
+measure time-to-relief and route-update counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.analysis.reporting import Table
+from repro.core.knobs.base import ActionLog
+from repro.core.knobs.exposure import NaiveReadvertisement, SelectiveVipExposure
+from repro.dns.authority import AuthoritativeDNS
+from repro.dns.policy import InverseUtilizationPolicy
+from repro.dns.population import FluidDNSModel
+from repro.network.bgp import BGPAnnouncer
+from repro.network.links import AccessLink, InternetSide
+from repro.sim import Environment
+from repro.sim.monitor import TimeSeries
+
+LINKS = (
+    ("link-a", 6.0),
+    ("link-b", 10.0),
+    ("link-c", 10.0),
+    ("link-d", 10.0),
+)
+
+
+class ExposureScenario:
+    """Fluid access-link scenario driven by one of two control strategies."""
+
+    def __init__(
+        self,
+        strategy: str,
+        n_apps: int = 40,
+        vips_per_app: int = 3,  # the paper's default; 2 leaves some
+        # link-pairs structurally unable to shed the overload
+        base_total_gbps: float = 16.0,
+        spike_factor: float = 1.8,
+        spike_at: float = 600.0,
+        dns_ttl_s: float = 30.0,
+        violator_fraction: float = 0.1,
+        bgp_convergence_s: float = 30.0,
+        session_tau_s: float = 60.0,
+        overload_threshold: float = 0.85,
+        dt: float = 5.0,
+        control_period_s: float = 30.0,
+    ):
+        if strategy not in ("k1", "naive"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.strategy = strategy
+        self.spike_factor = spike_factor
+        self.spike_at = spike_at
+        self.session_tau_s = session_tau_s
+        self.overload_threshold = overload_threshold
+        self.dt = dt
+        self.control_period_s = control_period_s
+
+        self.env = Environment()
+        self.internet = InternetSide(self.env)
+        self.internet.add_border("br-1")
+        for name, cap in LINKS:
+            self.internet.add_access_link(name, "isp", f"AR-{name}", "br-1", cap)
+        self.authority = AuthoritativeDNS(self.env, dns_ttl_s)
+        self.fluid = FluidDNSModel(self.authority, violator_fraction=violator_fraction)
+        self.bgp = BGPAnnouncer(self.env, bgp_convergence_s)
+        self.log = ActionLog()
+        self.k1 = SelectiveVipExposure(
+            self.env, self.authority, InverseUtilizationPolicy(overload_threshold), self.log
+        )
+        self.naive = NaiveReadvertisement(self.env, self.bgp, self.log)
+
+        # Apps: equal demand, VIPs pinned round-robin over the links.
+        self.app_demand = {f"app-{i:03d}": base_total_gbps / n_apps for i in range(n_apps)}
+        self.vip_link: dict[str, str] = {}
+        self.app_vips: dict[str, list[str]] = {}
+        link_names = [name for name, _ in LINKS]
+        li = 0
+        for app in self.app_demand:
+            vips = []
+            for v in range(vips_per_app):
+                vip = f"{app}-v{v}"
+                link = link_names[li % len(link_names)]
+                li += 1
+                self.vip_link[vip] = link
+                self.bgp.advertise_now(vip, link)
+                vips.append(vip)
+            self.app_vips[app] = vips
+            self.authority.configure(app, {v: 1.0 for v in vips})
+            self.fluid.ensure_app(app)
+
+        # Residual (draining) traffic per vip after a naive move:
+        # vip -> (old link, convergence time).
+        self._moves: dict[str, tuple[str, float]] = {}
+        self._moving: set[str] = set()
+        self.util_series = {name: TimeSeries(self.env, name) for name, _ in LINKS}
+        self.relief_time = math.inf
+        self.peak_util = 0.0
+
+    # -- demand & attribution ---------------------------------------------
+    def demand(self, app: str, t: float) -> float:
+        base = self.app_demand[app]
+        return base * self.spike_factor if t >= self.spike_at else base
+
+    def link_loads(self, t: float) -> dict[str, float]:
+        loads = {name: 0.0 for name, _ in LINKS}
+        for app, vips in self.app_vips.items():
+            d = self.demand(app, t)
+            if self.strategy == "k1":
+                shares = self.fluid.shares(app)
+            else:
+                shares = {v: 1.0 / len(vips) for v in vips}
+            for vip in vips:
+                traffic = d * shares.get(vip, 0.0)
+                loads[self.vip_link[vip]] += traffic
+                move = self._moves.get(vip)
+                if move is not None:
+                    old_link, t_conv = move
+                    residual = traffic * math.exp(-(t - t_conv) / self.session_tau_s)
+                    loads[old_link] += residual
+                    # new link carries the complement already counted above;
+                    # subtract the residual from it to conserve traffic.
+                    loads[self.vip_link[vip]] -= residual
+        return loads
+
+    # -- control strategies -----------------------------------------------------
+    def _settled_link_loads(self, t: float) -> dict[str, float]:
+        """Link loads once clients fully converge to the current DNS
+        weights — the model-based view a lag-aware controller plans on
+        (reacting to the *measured*, TTL-lagged loads overshoots and
+        oscillates)."""
+        loads = {name: 0.0 for name, _ in LINKS}
+        for app, vips in self.app_vips.items():
+            d = self.demand(app, t)
+            weights = self.authority.weights(app)
+            total = sum(weights.values())
+            for vip in vips:
+                loads[self.vip_link[vip]] += d * weights.get(vip, 0.0) / total
+        return loads
+
+    def _control_k1(self):
+        # Planning copies of the links, loaded with settled values.
+        plan_links = {
+            name: AccessLink(name, "isp", "AR", cap).attach(self.env)
+            for name, cap in LINKS
+        }
+        while True:
+            yield self.env.timeout(self.control_period_s)
+            settled = self._settled_link_loads(self.env.now)
+            for name, load in settled.items():
+                plan_links[name].set_load(load)
+            hot = {
+                name
+                for name, link in plan_links.items()
+                if link.utilization > self.overload_threshold
+            }
+            if not hot:
+                continue
+            for app, vips in self.app_vips.items():
+                if any(self.vip_link[v] in hot for v in vips):
+                    vip_links = {v: plan_links[self.vip_link[v]] for v in vips}
+                    self.k1.rebalance_app(app, vip_links)
+
+    def _control_naive(self):
+        while True:
+            yield self.env.timeout(self.control_period_s)
+            overloaded = self.internet.overloaded(self.overload_threshold)
+            if not overloaded:
+                continue
+            link = overloaded[0].name
+            vip = self._busiest_vip_on(link)
+            if vip is None:
+                continue
+            target = min(
+                self.internet.links.values(),
+                key=lambda l: (l.utilization, l.name),
+            ).name
+            if target == link:
+                continue
+            self._moving.add(vip)
+            self.env.process(self._do_naive_move(vip, link, target))
+
+    def _do_naive_move(self, vip: str, old: str, new: str):
+        t_start = self.env.now
+
+        def residual_traffic() -> float:
+            move = self._moves.get(vip)
+            if move is None:
+                return math.inf  # not converged yet
+            _, t_conv = move
+            app = vip.rsplit("-v", 1)[0]
+            share = 1.0 / len(self.app_vips[app])
+            return (
+                self.demand(app, self.env.now)
+                * share
+                * math.exp(-(self.env.now - t_conv) / self.session_tau_s)
+            )
+
+        # Rebind after convergence is handled by watching the BGP calls:
+        # advertise(new) + pad(old) both take one convergence delay.
+        def rebind_after_convergence():
+            yield self.env.timeout(self.bgp.convergence_s)
+            self._moves[vip] = (old, self.env.now)
+            self.vip_link[vip] = new
+
+        self.env.process(rebind_after_convergence())
+        yield from self.naive.transfer_vip(vip, old, new, residual_traffic)
+        self._moving.discard(vip)
+
+    def _busiest_vip_on(self, link: str):
+        best, best_d = None, 0.0
+        for app, vips in self.app_vips.items():
+            for vip in vips:
+                if self.vip_link[vip] != link or vip in self._moving:
+                    continue
+                d = self.demand(app, self.env.now) / len(vips)
+                if d > best_d:
+                    best, best_d = vip, d
+        return best
+
+    # -- main loop ---------------------------------------------------------------
+    def _monitor(self):
+        while True:
+            t = self.env.now
+            loads = self.link_loads(t)
+            for name, load in loads.items():
+                self.internet.link(name).set_load(load)
+                self.util_series[name].observe(self.internet.link(name).utilization)
+            util_a = self.internet.link("link-a").utilization
+            if t >= self.spike_at:
+                self.peak_util = max(self.peak_util, util_a)
+                if (
+                    util_a <= self.overload_threshold
+                    and not math.isfinite(self.relief_time)
+                    and t > self.spike_at + self.dt
+                ):
+                    self.relief_time = t - self.spike_at
+            yield self.env.timeout(self.dt)
+            self.fluid.advance(self.dt)
+
+    def run(self, duration_s: float = 3600.0) -> None:
+        self.env.process(self._monitor())
+        if self.strategy == "k1":
+            self.env.process(self._control_k1())
+        else:
+            self.env.process(self._control_naive())
+        self.env.run(until=duration_s)
+
+
+@dataclass
+class E4Result:
+    rows: list[tuple] = field(default_factory=list)
+
+    def table(self) -> Table:
+        t = Table(
+            "E4 — access-link relief: selective exposure (K1) vs naive BGP re-advertisement",
+            [
+                "strategy",
+                "ttl(s)",
+                "violators",
+                "time-to-relief(s)",
+                "route updates",
+                "dns reconfigs",
+                "peak util",
+            ],
+        )
+        for row in self.rows:
+            t.add_row(*row)
+        t.add_note(
+            "paper: exposure relieves 'as soon as DNS starts exposing new VIPs' "
+            "with infrequent route updates; re-advertising is slow and churn-heavy"
+        )
+        return t
+
+
+def run(
+    ttls: tuple[float, ...] = (30.0,),
+    violator_fractions: tuple[float, ...] = (0.1,),
+    duration_s: float = 2400.0,
+) -> E4Result:
+    result = E4Result()
+    for ttl in ttls:
+        for vf in violator_fractions:
+            s = ExposureScenario("k1", dns_ttl_s=ttl, violator_fraction=vf)
+            s.run(duration_s)
+            result.rows.append(
+                (
+                    "K1 exposure",
+                    ttl,
+                    vf,
+                    round(s.relief_time, 1),
+                    s.bgp.log.total,
+                    s.authority.weight_updates - len(s.app_vips),  # minus initial
+                    round(s.peak_util, 3),
+                )
+            )
+    s = ExposureScenario("naive")
+    s.run(duration_s)
+    result.rows.append(
+        (
+            "naive BGP",
+            "-",
+            "-",
+            round(s.relief_time, 1),
+            s.bgp.log.total,
+            0,
+            round(s.peak_util, 3),
+        )
+    )
+    return result

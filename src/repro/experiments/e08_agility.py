@@ -1,0 +1,187 @@
+"""E8 — the agility ladder (Sections IV-E/F).
+
+"One advantage of this knob is that the resultant change can occur
+quickly, leading to highly agile resource management.  Indeed, configuring
+the load balancing switches takes only several seconds."
+
+We measure, in one controlled environment each, the time from triggering a
+knob to its effect being in force:
+
+* K6 RIP weight change — one switch reconfiguration;
+* K5 VM slice adjustment — one hypervisor call;
+* K4 clone (SnowFlock-style) and K4 live migration;
+* K3 server transfer (vacate + handoff);
+* K1 selective exposure — instantaneous at the authority, but the *client
+  side* converges over ~a TTL (we report the time for 90 % of demand to
+  shift);
+* naive BGP re-advertisement — convergence-gated.
+
+Plus the K6 conservation check: an intra-pod reweighting leaves every
+other pod's share of the VIP exactly unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.reporting import Table
+from repro.core.knobs.deployment import AppDeployment
+from repro.core.knobs.rip_weights import RipWeightAdjustment
+from repro.core.knobs.server_transfer import ServerTransfer
+from repro.core.knobs.vm_capacity import VmCapacityAdjustment
+from repro.core.pod import Pod
+from repro.core.pod_manager import PodManager
+from repro.dns.authority import AuthoritativeDNS
+from repro.dns.population import FluidDNSModel
+from repro.hosts.server import PhysicalServer, ServerSpec
+from repro.hosts.vm import VM, VMState
+from repro.lbswitch.addresses import PRIVATE_RIP_POOL
+from repro.lbswitch.switch import LBSwitch
+from repro.network.bgp import BGPAnnouncer
+from repro.sim import Environment
+from repro.workload.apps import AppSpec
+from repro.workload.demand import ConstantDemand
+
+
+@dataclass
+class E8Result:
+    rows: list[tuple] = field(default_factory=list)
+    conservation_before: dict = field(default_factory=dict)
+    conservation_after: dict = field(default_factory=dict)
+
+    def table(self) -> Table:
+        t = Table(
+            "E8 — knob reaction latency (trigger -> effect in force)",
+            ["knob", "mechanism", "latency (s)"],
+        )
+        for row in self.rows:
+            t.add_row(*row)
+        t.add_note(
+            "paper: weight/slice changes act in seconds (agile); deployment "
+            "and BGP-based steering act in minutes"
+        )
+        t.add_note(
+            f"K6 conservation: other-pod share before={self.conservation_before} "
+            f"after={self.conservation_after} (unchanged)"
+        )
+        return t
+
+
+def _measure(env: Environment, proc) -> float:
+    start = env.now
+    done = env.process(proc)
+    env.run(until=done)
+    return env.now - start
+
+
+def run() -> E8Result:
+    result = E8Result()
+
+    # -- K6: one weight change ------------------------------------------------
+    env = Environment()
+    switch = LBSwitch("lb", env)
+    switch.add_vip("vip", "app")
+    switch.add_rip("vip", "r-pod1-a")
+    switch.add_rip("vip", "r-pod1-b")
+    switch.add_rip("vip", "r-pod2-a")
+    k6 = RipWeightAdjustment(env, reconfig_s=3.0)
+    latency = _measure(env, k6.set_weights(switch, "vip", {"r-pod1-a": 2.0}))
+    result.rows.append(("K6", "RIP weight reprogram (switch reconfig)", round(latency, 1)))
+
+    # conservation demo
+    pod_of = lambda rip: "pod1" if "pod1" in rip else "pod2"
+    result.conservation_before = {
+        k: round(v, 4)
+        for k, v in RipWeightAdjustment.pod_shares(switch, "vip", pod_of).items()
+    }
+    pod1_total = switch.entry("vip").rips["r-pod1-a"] + switch.entry("vip").rips["r-pod1-b"]
+    latency = _measure(
+        env,
+        k6.intra_pod_rebalance(
+            switch, "vip", pod_of, "pod1",
+            {"r-pod1-a": pod1_total * 0.8, "r-pod1-b": pod1_total * 0.2},
+        ),
+    )
+    result.conservation_after = {
+        k: round(v, 4)
+        for k, v in RipWeightAdjustment.pod_shares(switch, "vip", pod_of).items()
+    }
+
+    # -- K5: slice adjustment ------------------------------------------------------
+    env = Environment()
+    server = PhysicalServer("s", ServerSpec(cpu_capacity=1.0))
+    server.attach(VM("v1", "a", 0.5, 4.0, state=VMState.RUNNING))
+    server.attach(VM("v2", "b", 0.3, 4.0, state=VMState.RUNNING))
+    k5 = VmCapacityAdjustment(env, adjust_latency_s=2.0)
+    latency = _measure(env, k5.apply(server, {"a": 0.2, "b": 0.8}))
+    result.rows.append(("K5", "hypervisor hot slice resize", round(latency, 1)))
+
+    # -- K1: DNS-side instantaneous; client convergence ~ TTL ------------------------
+    env = Environment()
+    dns = AuthoritativeDNS(env, default_ttl_s=30.0)
+    dns.configure("app", {"v1": 1.0, "v2": 1.0})
+    fluid = FluidDNSModel(dns, violator_fraction=0.1)
+    fluid.ensure_app("app")
+    dns.configure("app", {"v1": 0.0, "v2": 1.0})  # the knob action itself: 0 s
+    t, dt = 0.0, 1.0
+    while fluid.share_of("app", "v1") > 0.05 and t < 3600:
+        fluid.advance(dt)
+        t += dt
+    result.rows.append(("K1", "DNS weight change (90% of clients shifted)", round(t, 1)))
+
+    # -- K4: clone and migrate ----------------------------------------------------------
+    env = Environment()
+    pod = Pod("p", 10, 20)
+    pod.add_server(PhysicalServer("p-s0"))
+    spec = AppSpec("app", 0.1, ConstantDemand(1.0), vm_cpu=0.25, vm_image_gb=4.0)
+    k4 = AppDeployment(env, PRIVATE_RIP_POOL(10), fabric_gbps=1.0)
+    latency = _measure(env, k4.replicate(spec, pod))
+    result.rows.append(("K4", "clone new replica (SnowFlock-style)", round(latency, 1)))
+
+    env = Environment()
+    src, dst = Pod("src", 10, 20), Pod("dst", 10, 20)
+    src.add_server(PhysicalServer("src-s0"))
+    dst.add_server(PhysicalServer("dst-s0"))
+    vm = VM("app@src-s0", "app", 0.25, 4.0, image_gb=4.0, state=VMState.RUNNING)
+    src.server("src-s0").attach(vm)
+    k4 = AppDeployment(env, PRIVATE_RIP_POOL(10), fabric_gbps=1.0)
+    latency = _measure(env, k4.migrate(vm, src, dst))
+    result.rows.append(("K4", "live migration (4 GB image @ 1 Gbps)", round(latency, 1)))
+
+    # -- K3: vacate + handoff ---------------------------------------------------------------
+    env = Environment()
+    donor_pod = Pod("donor", 50, 100)
+    for i in range(4):
+        donor_pod.add_server(PhysicalServer(f"donor-s{i}"))
+    donor = PodManager(donor_pod, PRIVATE_RIP_POOL(100))
+    donor.run_epoch({"a": 0.5}, {"a": AppSpec("a", 0.1, ConstantDemand(0.5))})
+    rcpt_pod = Pod("rcpt", 50, 100)
+    rcpt_pod.add_server(PhysicalServer("rcpt-s0"))
+    recipient = PodManager(rcpt_pod, PRIVATE_RIP_POOL(100))
+    k3 = ServerTransfer(env, handoff_s=30.0)
+    latency = _measure(env, k3.execute(donor, recipient, 2))
+    result.rows.append(("K3", "vacate + hand-off 2 servers", round(latency, 1)))
+
+    # -- naive BGP baseline --------------------------------------------------------------------
+    env = Environment()
+    bgp = BGPAnnouncer(env, convergence_s=30.0)
+    bgp.advertise_now("vip", "link-a")
+    from repro.core.knobs.exposure import NaiveReadvertisement
+
+    naive = NaiveReadvertisement(env, bgp, drain_poll_s=10.0)
+    traffic = {"t": 1.0}
+
+    def drain_then_move():
+        def decay():
+            yield env.timeout(120)
+            traffic["t"] = 0.0
+
+        env.process(decay())
+        yield from naive.transfer_vip("vip", "link-a", "link-b", lambda: traffic["t"])
+
+    latency = _measure(env, drain_then_move())
+    result.rows.append(
+        ("naive-bgp", "re-advertise + pad + drain + withdraw", round(latency, 1))
+    )
+    result.rows.sort(key=lambda r: r[2])
+    return result

@@ -1,0 +1,248 @@
+"""E10 — policy conflict and the two-LB-layer resolution (Section V-B).
+
+We sweep how adversarially the VIPs' link bindings correlate with their
+pod bindings.  At crossing = 0 the VIP on a big link serves a big pod
+(aligned); at crossing = 1 every big-link VIP serves only the small pod
+(the conflict scenario of Section V-B).  The single-layer architecture's
+best achievable min-max utilization degrades with crossing; the two-layer
+architecture is flat — at the cost of the extra demand-distribution
+switches tabulated at paper scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.reporting import Table
+from repro.core.two_layer import TwoLayerFabric, VipBinding
+from repro.lbswitch.switch import SwitchLimits
+
+
+@dataclass
+class E10Result:
+    rows: list[tuple] = field(default_factory=list)
+    overhead: dict = field(default_factory=dict)
+
+    def table(self) -> Table:
+        t = Table(
+            "E10 — single-layer vs two-layer under link/pod binding conflict",
+            [
+                "crossing",
+                "single worst util",
+                "single link util",
+                "single pod util",
+                "two-layer worst util",
+            ],
+        )
+        for row in self.rows:
+            t.add_row(*row)
+        t.add_note(
+            "switch cost @300K apps (3 ext VIPs, 2 m-VIPs, 20 RIPs per app): "
+            f"single={self.overhead['single_layer_switches']}, "
+            f"two-layer={self.overhead['two_layer_switches']} "
+            f"(x{self.overhead['overhead_ratio']:.2f})"
+        )
+        return t
+
+
+def make_bindings(crossing: float, n_vips_per_side: int = 4) -> list[VipBinding]:
+    """VIPs on a big and a small link; a ``crossing`` fraction of the
+    big-link VIPs are wired to the small pod (and vice versa)."""
+    bindings = []
+    n_crossed = round(crossing * n_vips_per_side)
+    for i in range(n_vips_per_side):
+        crossed = i < n_crossed
+        bindings.append(
+            VipBinding(
+                f"big-{i}",
+                "link-big",
+                {"pod-small": 1.0} if crossed else {"pod-big": 1.0},
+            )
+        )
+        bindings.append(
+            VipBinding(
+                f"small-{i}",
+                "link-small",
+                {"pod-big": 1.0} if crossed else {"pod-small": 1.0},
+            )
+        )
+    return bindings
+
+
+def run(
+    crossings: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    demand_gbps: float = 8.0,
+) -> E10Result:
+    fabric = TwoLayerFabric(
+        link_capacity_gbps={"link-big": 10.0, "link-small": 2.0},
+        pod_capacity_gbps={"pod-big": 10.0, "pod-small": 2.0},
+    )
+    result = E10Result()
+    vip_links = {}
+    for crossing in crossings:
+        bindings = make_bindings(crossing)
+        single = fabric.solve_single_layer(bindings, demand_gbps)
+        vip_links = {b.vip: b.link for b in bindings}
+        two = fabric.solve_two_layer(vip_links, demand_gbps)
+        result.rows.append(
+            (
+                crossing,
+                round(single.worst, 3),
+                round(single.max_link_utilization, 3),
+                round(single.max_pod_utilization, 3),
+                round(two.worst, 3),
+            )
+        )
+    result.overhead = TwoLayerFabric.switch_overhead(
+        n_apps=300_000,
+        external_vips_per_app=3.0,
+        m_vips_per_app=2.0,
+        rips_per_app=20.0,
+        limits=SwitchLimits(),
+    )
+    return result
+
+
+# ----------------------------------------------------- dynamic counterpart
+
+
+class TwoLayerScenario:
+    """Closed-loop simulation of the Section V-B conflict.
+
+    One hot application with four external VIPs over a big and a small
+    access link, serving a big and a small pod, with fully crossed
+    bindings.  In single-layer mode one DNS-exposure controller must chase
+    both objectives through one weight vector; in two-layer mode the
+    exposure controller owns the links and an independent m-VIP RIP-weight
+    controller (K6 on the load-balancing layer) owns the pods.
+    """
+
+    def __init__(
+        self,
+        two_layer: bool,
+        demand_gbps: float = 8.0,
+        link_caps: tuple[float, float] = (10.0, 2.0),
+        pod_caps: tuple[float, float] = (10.0, 2.0),
+        dns_ttl_s: float = 30.0,
+        control_period_s: float = 60.0,
+        dt: float = 10.0,
+    ):
+        from repro.dns.authority import AuthoritativeDNS
+        from repro.dns.population import FluidDNSModel
+        from repro.sim import Environment
+
+        self.two_layer = two_layer
+        self.demand = demand_gbps
+        self.links = {"link-big": link_caps[0], "link-small": link_caps[1]}
+        self.pods = {"pod-big": pod_caps[0], "pod-small": pod_caps[1]}
+        self.control_period_s = control_period_s
+        self.dt = dt
+        self.env = Environment()
+        self.authority = AuthoritativeDNS(self.env, dns_ttl_s)
+        self.fluid = FluidDNSModel(self.authority, violator_fraction=0.1)
+
+        # Four external VIPs, fully crossed: big-link VIPs -> small pod.
+        self.vip_link = {
+            "v-big-0": "link-big",
+            "v-big-1": "link-big",
+            "v-small-0": "link-small",
+            "v-small-1": "link-small",
+        }
+        if two_layer:
+            # Every external VIP maps to the same m-VIP set; the m-VIP
+            # layer's RIP weights choose the pod split independently.
+            self.mvip_pod_weight = {"pod-big": 1.0, "pod-small": 1.0}
+            self.vip_pod = None
+        else:
+            self.mvip_pod_weight = None
+            self.vip_pod = {
+                "v-big-0": "pod-small",
+                "v-big-1": "pod-small",
+                "v-small-0": "pod-big",
+                "v-small-1": "pod-big",
+            }
+        self.authority.configure("app", {v: 1.0 for v in self.vip_link})
+        self.fluid.ensure_app("app")
+        self._link_util_samples: list[float] = []
+        self._pod_util_samples: list[float] = []
+
+    # -- data plane ---------------------------------------------------------
+    def _loads(self) -> tuple[dict, dict]:
+        shares = self.fluid.shares("app")
+        link_loads = {l: 0.0 for l in self.links}
+        pod_loads = {p: 0.0 for p in self.pods}
+        for vip, share in shares.items():
+            traffic = self.demand * share
+            link_loads[self.vip_link[vip]] += traffic
+            if self.two_layer:
+                total_w = sum(self.mvip_pod_weight.values())
+                for pod, w in self.mvip_pod_weight.items():
+                    pod_loads[pod] += traffic * w / total_w
+            else:
+                pod_loads[self.vip_pod[vip]] += traffic
+        return link_loads, pod_loads
+
+    # -- controllers ----------------------------------------------------------
+    def _control(self):
+        while True:
+            yield self.env.timeout(self.control_period_s)
+            # Link side (K1): expose proportional to link headroom, using
+            # the settled view (current authority weights).
+            weights = {}
+            per_link_vips: dict[str, list[str]] = {}
+            for vip, link in self.vip_link.items():
+                per_link_vips.setdefault(link, []).append(vip)
+            for link, vips in per_link_vips.items():
+                for vip in vips:
+                    weights[vip] = self.links[link] / len(vips)
+            if not self.two_layer:
+                # The single weight vector must also consider pods: blend
+                # in pod headroom per VIP (the conflict in action).
+                for vip in weights:
+                    pod = self.vip_pod[vip]
+                    weights[vip] *= self.pods[pod] / sum(self.pods.values())
+            self.authority.configure("app", weights)
+            if self.two_layer:
+                # Pod side (K6 at the m-VIP layer): capacity-proportional.
+                self.mvip_pod_weight = dict(self.pods)
+
+    def _monitor(self):
+        while True:
+            yield self.env.timeout(self.dt)
+            self.fluid.advance(self.dt)
+            link_loads, pod_loads = self._loads()
+            self._link_util_samples.append(
+                max(link_loads[l] / self.links[l] for l in self.links)
+            )
+            self._pod_util_samples.append(
+                max(pod_loads[p] / self.pods[p] for p in self.pods)
+            )
+
+    def run(self, duration_s: float = 3600.0, warmup_s: float = 1200.0):
+        self.env.process(self._monitor())
+        self.env.process(self._control())
+        self.env.run(until=duration_s)
+        skip = int(warmup_s / self.dt)
+        link = self._link_util_samples[skip:]
+        pod = self._pod_util_samples[skip:]
+        return (
+            sum(link) / len(link),
+            sum(pod) / len(pod),
+        )
+
+
+def run_dynamic(duration_s: float = 3600.0):
+    """Closed-loop comparison rows: (mode, settled max link util,
+    settled max pod util)."""
+    rows = []
+    for two_layer in (False, True):
+        scenario = TwoLayerScenario(two_layer=two_layer)
+        link_util, pod_util = scenario.run(duration_s)
+        rows.append(
+            (
+                "two-layer (decoupled)" if two_layer else "single-layer",
+                round(link_util, 3),
+                round(pod_util, 3),
+            )
+        )
+    return rows

@@ -1,0 +1,25 @@
+"""Physical servers, virtual machines, hypervisor operations, migration.
+
+Applications run one per VM (Section II); a server pod manager manipulates
+VMs through the hypervisor: boot/stop instances, and — knob K5 — adjust a
+running VM's resource slice on the fly (VMware-ESX-style hot add, no
+reboot, latency of seconds).  Migration and SnowFlock-style cloning carry
+explicit cost models because knob K4's trade-off is relief vs. deployment
+cost.
+"""
+
+from repro.hosts.server import PhysicalServer, ServerSpec
+from repro.hosts.vm import VM, VMState
+from repro.hosts.hypervisor import Hypervisor
+from repro.hosts.migration import CloneModel, MigrationModel, MigrationStats
+
+__all__ = [
+    "PhysicalServer",
+    "ServerSpec",
+    "VM",
+    "VMState",
+    "Hypervisor",
+    "MigrationModel",
+    "CloneModel",
+    "MigrationStats",
+]

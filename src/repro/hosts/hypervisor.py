@@ -1,0 +1,70 @@
+"""Hypervisor operations with realistic latencies.
+
+Latency model (paper Sections IV-D/E and its citations):
+
+* slice adjustment — programmatic, on the fly, ~seconds ([5]);
+* VM boot — tens of seconds to minutes;
+* VM stop — seconds.
+
+All operations are simulation processes (``yield from hv.op(...)``) so their
+durations interleave properly with the rest of the control plane.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.hosts.server import PhysicalServer
+from repro.hosts.vm import VM, VMState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+
+class Hypervisor:
+    """Control interface of one physical server."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        server: PhysicalServer,
+        adjust_latency_s: float = 2.0,
+        boot_latency_s: float = 60.0,
+        stop_latency_s: float = 5.0,
+    ):
+        self.env = env
+        self.server = server
+        self.adjust_latency_s = adjust_latency_s
+        self.boot_latency_s = boot_latency_s
+        self.stop_latency_s = stop_latency_s
+        self.operations = 0
+
+    def boot_vm(self, vm: VM):
+        """Place and boot a VM; yields until the VM is RUNNING."""
+        self.operations += 1
+        vm.state = VMState.BOOTING
+        self.server.attach(vm)
+        yield self.env.timeout(self.boot_latency_s)
+        vm.state = VMState.RUNNING
+
+    def stop_vm(self, vm_id: str):
+        """Stop and detach a VM; yields until done; returns the VM."""
+        self.operations += 1
+        vm = self.server.vm(vm_id)
+        vm.state = VMState.STOPPED
+        yield self.env.timeout(self.stop_latency_s)
+        self.server.detach(vm_id)
+        return vm
+
+    def adjust_slice(self, vm_id: str, new_cpu_slice: float):
+        """Knob K5: hot-adjust a VM's CPU slice (no reboot)."""
+        self.operations += 1
+        # Validate up front so callers fail fast, apply after the latency.
+        vm = self.server.vm(vm_id)
+        others = self.server.cpu_allocated - vm.cpu_slice
+        if others + new_cpu_slice > self.server.spec.cpu_capacity + 1e-9:
+            raise ValueError(
+                f"{self.server.name}: slice adjustment would exceed capacity"
+            )
+        yield self.env.timeout(self.adjust_latency_s)
+        self.server.resize(vm_id, new_cpu_slice)

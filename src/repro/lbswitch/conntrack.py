@@ -1,0 +1,79 @@
+"""Connection tracking.
+
+Section IV-B: "while the VIP is in use by ongoing TCP sessions, packets of
+the same TCP session must arrive to the same RIP, and only the original
+switch knows this RIP."  The connection table is that switch-local state —
+a VIP can only be transferred during a pause, i.e. when its connection
+count is zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Connection:
+    """One tracked TCP session pinned to a RIP."""
+
+    conn_id: int
+    vip: str
+    rip: str
+    opened_at: float
+
+
+class ConnectionTable:
+    """Per-switch session state with a hard size limit."""
+
+    def __init__(self, max_connections: int = 1_000_000):
+        if max_connections < 1:
+            raise ValueError("max_connections must be >= 1")
+        self.max_connections = max_connections
+        self._conns: dict[int, Connection] = {}
+        self._per_vip: dict[str, int] = {}
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._conns)
+
+    def open(self, conn_id: int, vip: str, rip: str, now: float) -> bool:
+        """Track a new session; returns False (and counts a rejection) if
+        the table is full."""
+        if conn_id in self._conns:
+            raise ValueError(f"connection {conn_id} already tracked")
+        if len(self._conns) >= self.max_connections:
+            self.rejected += 1
+            return False
+        self._conns[conn_id] = Connection(conn_id, vip, rip, now)
+        self._per_vip[vip] = self._per_vip.get(vip, 0) + 1
+        return True
+
+    def close(self, conn_id: int) -> Connection:
+        if conn_id not in self._conns:
+            raise KeyError(f"connection {conn_id} not tracked")
+        conn = self._conns.pop(conn_id)
+        self._per_vip[conn.vip] -= 1
+        if self._per_vip[conn.vip] == 0:
+            del self._per_vip[conn.vip]
+        return conn
+
+    def rip_of(self, conn_id: int) -> str:
+        """Session affinity: the RIP this session is pinned to."""
+        return self._conns[conn_id].rip
+
+    def count_for_vip(self, vip: str) -> int:
+        return self._per_vip.get(vip, 0)
+
+    def is_paused(self, vip: str) -> bool:
+        """True when the VIP has no ongoing sessions (K2 transfer window)."""
+        return self.count_for_vip(vip) == 0
+
+    def drop_vip(self, vip: str) -> int:
+        """Forcibly drop all sessions of a VIP (service disruption!);
+        returns how many were killed.  Used to quantify the cost of
+        transferring without a pause."""
+        doomed = [cid for cid, c in self._conns.items() if c.vip == vip]
+        for cid in doomed:
+            self.close(cid)
+        return len(doomed)

@@ -1,0 +1,59 @@
+"""Programmatic switch reconfiguration with realistic latency.
+
+"Configuring the load balancing switches takes only several seconds
+[20], [28]" — and a switch's management interface applies changes one at a
+time.  :class:`SwitchReconfigurer` wraps a switch's mutations as simulation
+processes, serialized through a capacity-1 resource, each costing
+``latency_s``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.lbswitch.switch import LBSwitch, VipEntry
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+
+class SwitchReconfigurer:
+    """Serialized, latency-charged mutations of one LB switch."""
+
+    def __init__(self, env: "Environment", switch: LBSwitch, latency_s: float = 3.0):
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        self.env = env
+        self.switch = switch
+        self.latency_s = latency_s
+        self._port = Resource(env, capacity=1)  # the management session
+        self.operations = 0
+
+    def _apply(self, mutate: Callable[[], object]):
+        """Generic serialized operation."""
+        with self._port.request() as req:
+            yield req
+            yield self.env.timeout(self.latency_s)
+            result = mutate()
+            self.operations += 1
+            return result
+
+    # Each public method is a simulation process (use `yield from`).
+    def add_vip(self, vip: str, app: str):
+        return self._apply(lambda: self.switch.add_vip(vip, app))
+
+    def remove_vip(self, vip: str):
+        return self._apply(lambda: self.switch.remove_vip(vip))
+
+    def install_entry(self, entry: VipEntry):
+        return self._apply(lambda: self.switch.install_entry(entry))
+
+    def add_rip(self, vip: str, rip: str, weight: float = 1.0):
+        return self._apply(lambda: self.switch.add_rip(vip, rip, weight))
+
+    def remove_rip(self, vip: str, rip: str):
+        return self._apply(lambda: self.switch.remove_rip(vip, rip))
+
+    def set_rip_weight(self, vip: str, rip: str, weight: float):
+        return self._apply(lambda: self.switch.set_rip_weight(vip, rip, weight))

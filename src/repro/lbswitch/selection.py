@@ -1,0 +1,76 @@
+"""RIP selection algorithms for session-level load balancing.
+
+Smooth weighted round-robin (the nginx algorithm) gives a deterministic
+interleaving proportional to weights; least-connections consults the
+connection table.  The fluid data plane uses normalized weights directly;
+these classes serve the session-level examples and E5.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.lbswitch.conntrack import ConnectionTable
+
+
+class SmoothWeightedRR:
+    """Smooth weighted round-robin over a mutable weight table."""
+
+    def __init__(self, weights: Mapping[str, float]):
+        if not weights:
+            raise ValueError("need at least one RIP")
+        if any(w < 0 for w in weights.values()):
+            raise ValueError("weights must be non-negative")
+        if all(w == 0 for w in weights.values()):
+            raise ValueError("at least one weight must be positive")
+        self._weights = dict(weights)
+        self._current = {rip: 0.0 for rip in weights}
+
+    def update_weights(self, weights: Mapping[str, float]) -> None:
+        self._weights = dict(weights)
+        for rip in weights:
+            self._current.setdefault(rip, 0.0)
+        for rip in list(self._current):
+            if rip not in weights:
+                del self._current[rip]
+
+    def pick(self) -> str:
+        """Next RIP; over any window the pick frequency is proportional to
+        weight (property-tested)."""
+        total = sum(self._weights.values())
+        if total <= 0:
+            raise RuntimeError("all RIP weights are zero")
+        best: Optional[str] = None
+        for rip in sorted(self._weights):
+            self._current[rip] += self._weights[rip]
+            if best is None or self._current[rip] > self._current[best]:
+                best = rip
+        assert best is not None
+        self._current[best] -= total
+        return best
+
+
+class LeastConnections:
+    """Pick the RIP with the fewest tracked connections (weight-scaled)."""
+
+    def __init__(self, vip: str, table: ConnectionTable):
+        self.vip = vip
+        self.table = table
+
+    def pick(self, weights: Mapping[str, float]) -> str:
+        if not weights:
+            raise ValueError("need at least one RIP")
+        counts: dict[str, int] = {}
+        for rip in weights:
+            counts[rip] = 0
+        for conn in self.table._conns.values():  # noqa: SLF001 - same package
+            if conn.vip == self.vip and conn.rip in counts:
+                counts[conn.rip] += 1
+        # least connections per unit weight; deterministic tiebreak by name
+        def score(rip: str) -> tuple[float, str]:
+            w = weights[rip]
+            if w <= 0:
+                return (float("inf"), rip)
+            return (counts[rip] / w, rip)
+
+        return min(weights, key=score)

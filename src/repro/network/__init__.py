@@ -1,0 +1,28 @@
+"""Flow-level data plane.
+
+Traffic is modelled as fluid flows: within a control epoch each flow gets a
+max–min fair share of every link it crosses.  Control-plane events (DNS
+exposure changes, VIP transfers, weight updates) change the flow set or the
+routing; the data plane then re-solves bandwidth sharing.  This is the
+standard fluid approximation for load-balancing studies and is exactly the
+granularity at which the paper's claims live.
+"""
+
+from repro.network.flows import Flow, FlowAllocation
+from repro.network.maxmin import maxmin_fair, weighted_maxmin_fair
+from repro.network.links import AccessLink, BorderRouter, InternetSide
+from repro.network.bgp import BGPAnnouncer, RouteUpdateLog
+from repro.network.fabric import FabricModel
+
+__all__ = [
+    "Flow",
+    "FlowAllocation",
+    "maxmin_fair",
+    "weighted_maxmin_fair",
+    "AccessLink",
+    "BorderRouter",
+    "InternetSide",
+    "BGPAnnouncer",
+    "RouteUpdateLog",
+    "FabricModel",
+]

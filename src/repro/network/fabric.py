@@ -1,0 +1,81 @@
+"""The internal L2/L3 switching fabric between LB switches and servers.
+
+Section III-B's argument: on a modern topology (fat-tree/VL2/PortLand) any
+LB switch can include any server in its load-balancing groups because
+host-pair bandwidth is guaranteed; on a legacy oversubscribed tree the
+bandwidth to a remote server is unpredictable, which is why traditional
+designs kept LB switches next to their servers.  :class:`FabricModel`
+captures exactly that distinction plus the external/internal traffic split
+(external ≈ 20 % of total per Greenberg et al.) used to argue the LB layer
+is not a bottleneck.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.topology.analysis import host_pair_guarantee, oversubscription_ratio
+from repro.topology.base import Topology
+
+
+class FabricModel:
+    """Bandwidth guarantees of the server-side fabric.
+
+    Parameters
+    ----------
+    topology:
+        The underlying fabric topology.
+    external_traffic_fraction:
+        Fraction of total DC traffic that crosses the Internet boundary
+        (and therefore the LB layer).  The paper takes ~0.2 from [8].
+    """
+
+    def __init__(self, topology: Topology, external_traffic_fraction: float = 0.2):
+        if not 0 < external_traffic_fraction <= 1:
+            raise ValueError("external_traffic_fraction must be in (0, 1]")
+        self.topology = topology
+        self.external_traffic_fraction = external_traffic_fraction
+        self._guarantee = host_pair_guarantee(topology)
+        self._oversub = oversubscription_ratio(topology)
+
+    @property
+    def is_flat(self) -> bool:
+        """True if any switch can reach any server at guaranteed bandwidth
+        (the property required to pool LB switches at the border)."""
+        return self._guarantee >= 0.999
+
+    @property
+    def pair_guarantee(self) -> float:
+        """Guaranteed fraction of NIC rate between any host pair under
+        worst-case concurrent load."""
+        return self._guarantee
+
+    @property
+    def oversubscription(self) -> float:
+        return self._oversub
+
+    def guaranteed_gbps(self, host: str) -> float:
+        """Bandwidth any LB switch can count on towards *host*."""
+        return self.topology.host_uplink_gbps(host) * self._guarantee
+
+    def lb_layer_load_gbps(self, total_traffic_gbps: float) -> float:
+        """Traffic the LB layer must process, given *total* DC traffic.
+
+        Only external (enter/leave) traffic crosses the LB layer; all
+        intra-DC traffic flows below it (Section III-B).
+        """
+        return total_traffic_gbps * self.external_traffic_fraction
+
+    def reachable_servers(self, lb_attach_host: Optional[str] = None) -> int:
+        """How many servers an LB switch can safely load-balance over.
+
+        On a flat fabric: all of them.  On a legacy tree an LB switch is
+        restricted to the subtree with predictable bandwidth — we
+        approximate that as the servers within the attachment aggregation
+        group (the compartmentalization the paper criticises).
+        """
+        hosts = self.topology.hosts
+        if self.is_flat or lb_attach_host is None:
+            return len(hosts)
+        group = self.topology.node(lb_attach_host).group
+        return sum(1 for h in hosts if h.group == group)

@@ -1,0 +1,36 @@
+"""Application placement / resource allocation algorithms.
+
+The paper's scalability argument (Section I-A) rests on the behaviour of
+these algorithms:
+
+* :class:`TangController` — a reimplementation of the centralized
+  application placement controller of Tang et al. (WWW 2007), the paper's
+  reference point for "execution time increases [superlinearly] ... about
+  half a minute for ~7,000 servers and 17,500 applications".
+* :class:`GreedyController` — the agile pod-level manager in the spirit of
+  Zhang et al. (WOSP/SIPEW 2010): capacity adjustment first, then
+  first-fit-decreasing placement.  This is what runs inside each pod.
+* :class:`DistributedController` — per-app agents with sampled local views
+  (Gulati et al. / Yazir et al. style): scales best, lowest solution
+  quality.
+
+All three consume the same :class:`PlacementProblem` and produce a
+:class:`PlacementSolution`, so experiment E2/E12 can compare runtime and
+quality directly.
+"""
+
+from repro.placement.problem import PlacementProblem, PlacementSolution
+from repro.placement.tang import TangController
+from repro.placement.greedy import GreedyController
+from repro.placement.distributed import DistributedController
+from repro.placement.quality import evaluate_solution, SolutionQuality
+
+__all__ = [
+    "PlacementProblem",
+    "PlacementSolution",
+    "TangController",
+    "GreedyController",
+    "DistributedController",
+    "evaluate_solution",
+    "SolutionQuality",
+]

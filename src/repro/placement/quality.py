@@ -1,0 +1,50 @@
+"""Solution quality metrics shared by all placement experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.placement.problem import PlacementProblem, PlacementSolution
+
+
+@dataclass(frozen=True)
+class SolutionQuality:
+    """Quality summary of one placement solution."""
+
+    satisfied_fraction: float
+    changes: int
+    max_server_utilization: float
+    mean_server_utilization: float
+    instances: int
+    wall_time_s: float
+
+    def row(self) -> dict:
+        return {
+            "satisfied": round(self.satisfied_fraction, 4),
+            "changes": self.changes,
+            "max_util": round(self.max_server_utilization, 3),
+            "mean_util": round(self.mean_server_utilization, 3),
+            "instances": self.instances,
+            "time_s": round(self.wall_time_s, 4),
+        }
+
+
+def evaluate_solution(
+    problem: PlacementProblem, solution: PlacementSolution, validate: bool = True
+) -> SolutionQuality:
+    """Validate a solution and compute its quality metrics."""
+    if validate:
+        solution.validate(problem)
+    total_demand = problem.total_demand
+    satisfied = solution.satisfied().sum()
+    util = solution.server_load() / problem.server_cpu
+    return SolutionQuality(
+        satisfied_fraction=float(satisfied / total_demand) if total_demand > 0 else 1.0,
+        changes=solution.changes,
+        max_server_utilization=float(util.max()),
+        mean_server_utilization=float(util.mean()),
+        instances=int(solution.placement.sum()),
+        wall_time_s=solution.wall_time_s,
+    )

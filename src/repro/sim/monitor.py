@@ -1,0 +1,202 @@
+"""Measurement primitives: tallies, step time series, utilization monitors.
+
+These are the only sanctioned way experiments read results out of a
+simulation; benchmarks never poke at component internals.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+
+class Tally:
+    """Online statistics over discrete observations (Welford's algorithm)."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self._n += 1
+        delta = v - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (v - self._mean)
+        self._min = min(self._min, v)
+        self._max = max(self._max, v)
+        self._values.append(v)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self._n else math.nan
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self._n - 1) if self._n > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self._n else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self._n else math.nan
+
+    def percentile(self, q: float) -> float:
+        """q in [0, 100]."""
+        if not self._values:
+            return math.nan
+        return float(np.percentile(np.asarray(self._values), q))
+
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=float)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Tally {self.name!r} n={self._n} mean={self.mean:.4g}>"
+
+
+class TimeSeries:
+    """A right-continuous step function sampled by :meth:`observe`.
+
+    ``observe(v)`` records that the monitored quantity equals *v* from the
+    current simulation time until the next observation.
+    """
+
+    def __init__(self, env: "Environment", name: str = ""):
+        self.env = env
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        t = self.env.now
+        if self._times and self._times[-1] == t:
+            # Same-instant update: keep the latest value only.
+            self._values[-1] = float(value)
+        else:
+            self._times.append(t)
+            self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def current(self) -> float:
+        return self._values[-1] if self._values else math.nan
+
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times, dtype=float)
+
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=float)
+
+    def value_at(self, t: float) -> float:
+        """Value of the step function at time *t*."""
+        if not self._times or t < self._times[0]:
+            return math.nan
+        idx = int(np.searchsorted(self._times, t, side="right")) - 1
+        return self._values[idx]
+
+    def time_average(self, t0: Optional[float] = None, t1: Optional[float] = None) -> float:
+        """Time-weighted mean over [t0, t1] (defaults: first obs .. now)."""
+        if not self._times:
+            return math.nan
+        t0 = self._times[0] if t0 is None else t0
+        t1 = self.env.now if t1 is None else t1
+        if t1 <= t0:
+            return self.value_at(t0)
+        times = np.asarray(self._times + [t1], dtype=float)
+        vals = np.asarray(self._values, dtype=float)
+        # Clip the step boundaries to the window.
+        starts = np.clip(times[:-1], t0, t1)
+        ends = np.clip(times[1:], t0, t1)
+        widths = ends - starts
+        total = float(np.dot(widths, vals))
+        return total / (t1 - t0)
+
+    def maximum(self, t0: float = -math.inf, t1: float = math.inf) -> float:
+        if not self._times:
+            return math.nan
+        times = self.times()
+        vals = self.values()
+        mask = (times <= t1) & (np.append(times[1:], math.inf) >= t0)
+        if not mask.any():
+            return math.nan
+        return float(vals[mask].max())
+
+    def first_time_below(self, threshold: float, after: float = 0.0) -> float:
+        """First observation time >= *after* with value < threshold, or inf."""
+        for t, v in zip(self._times, self._values):
+            if t >= after and v < threshold:
+                return t
+        return math.inf
+
+    def first_time_above(self, threshold: float, after: float = 0.0) -> float:
+        for t, v in zip(self._times, self._values):
+            if t >= after and v > threshold:
+                return t
+        return math.inf
+
+
+class UtilizationMonitor:
+    """Tracks a load level against a capacity as a step function.
+
+    Convenience wrapper used by servers, links and switches.
+    """
+
+    def __init__(self, env: "Environment", capacity: float, name: str = ""):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = float(capacity)
+        self.series = TimeSeries(env, name)
+        self.series.observe(0.0)
+
+    @property
+    def load(self) -> float:
+        return self.series.current
+
+    @property
+    def utilization(self) -> float:
+        return self.series.current / self.capacity
+
+    def set_load(self, load: float) -> None:
+        self.series.observe(float(load))
+
+    def add_load(self, delta: float) -> None:
+        self.series.observe(self.series.current + float(delta))
+
+    def mean_utilization(self, t0: Optional[float] = None, t1: Optional[float] = None) -> float:
+        return self.series.time_average(t0, t1) / self.capacity
+
+    def overloaded_fraction(self, threshold: float = 1.0) -> float:
+        """Fraction of elapsed time spent above threshold*capacity."""
+        if len(self.series) == 0:
+            return 0.0
+        times = np.append(self.series.times(), self.env.now)
+        vals = self.series.values()
+        widths = np.diff(times)
+        total = times[-1] - times[0]
+        if total <= 0:
+            return 0.0
+        over = widths[vals > threshold * self.capacity].sum()
+        return float(over / total)

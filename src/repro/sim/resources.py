@@ -1,0 +1,196 @@
+"""Shared-resource primitives: counted resources and continuous containers.
+
+:class:`Resource` models a pool of identical slots (e.g. a pod manager's
+reconfiguration executor, an access-router update slot).  :class:`Container`
+models a continuous quantity (e.g. spare capacity in a pod).
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.sim.events import PENDING, Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource`.
+
+    Usable as a context manager::
+
+        with resource.request() as req:
+            yield req
+            ... # slot held here
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw an ungrated request from the wait queue."""
+        self.resource.release(self)
+
+
+class PriorityRequest(Request):
+    """A request with a priority; lower values are served first.
+
+    Ties are broken FIFO by insertion sequence.
+    """
+
+    __slots__ = ("priority", "seq")
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource)
+        self.priority = priority
+        self.seq = next(resource._seq)
+
+    def __lt__(self, other: "PriorityRequest") -> bool:
+        return (self.priority, self.seq) < (other.priority, other.seq)
+
+
+class Resource:
+    """A pool of *capacity* identical slots with a FIFO (or priority) queue."""
+
+    def __init__(self, env: "Environment", capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self._capacity = capacity
+        self.users: list[Request] = []
+        self.queue: list[Request] = []
+        self._seq = count()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event fires when the slot is granted."""
+        req = Request(self)
+        self.queue.append(req)
+        self._grant()
+        return req
+
+    def priority_request(self, priority: int = 0) -> PriorityRequest:
+        req = PriorityRequest(self, priority)
+        heapq.heappush(self.queue, req)  # type: ignore[arg-type]
+        self._grant()
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a slot (or withdraw a queued request)."""
+        if request in self.users:
+            self.users.remove(request)
+            self._grant()
+        else:
+            try:
+                self.queue.remove(request)
+                if isinstance(request, PriorityRequest):
+                    heapq.heapify(self.queue)  # type: ignore[arg-type]
+            except ValueError:
+                pass  # releasing twice is a no-op
+
+    def _grant(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            if isinstance(self.queue[0], PriorityRequest):
+                req = heapq.heappop(self.queue)  # type: ignore[arg-type]
+            else:
+                req = self.queue.pop(0)
+            self.users.append(req)
+            req.succeed()
+
+
+class _ContainerPut(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, env: "Environment", amount: float):
+        super().__init__(env)
+        self.amount = amount
+
+
+class _ContainerGet(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, env: "Environment", amount: float):
+        super().__init__(env)
+        self.amount = amount
+
+
+class Container:
+    """A continuous quantity with blocking put/get.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    capacity:
+        Maximum level (default unbounded).
+    init:
+        Initial level.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf"), init: float = 0.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError(f"init {init} outside [0, {capacity}]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._puts: list[_ContainerPut] = []
+        self._gets: list[_ContainerGet] = []
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add *amount*; blocks (event pends) while it would overflow."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        ev = _ContainerPut(self.env, amount)
+        self._puts.append(ev)
+        self._settle()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        """Remove *amount*; blocks while the level is insufficient."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        ev = _ContainerGet(self.env, amount)
+        self._gets.append(ev)
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._puts and self._level + self._puts[0].amount <= self.capacity:
+                ev = self._puts.pop(0)
+                self._level += ev.amount
+                ev.succeed()
+                progressed = True
+            if self._gets and self._level >= self._gets[0].amount:
+                ev = self._gets.pop(0)
+                self._level -= ev.amount
+                ev.succeed()
+                progressed = True

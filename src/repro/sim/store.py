@@ -1,0 +1,90 @@
+"""Object stores: FIFO queues of arbitrary items with blocking get.
+
+Used throughout the control plane, e.g. the global manager's serialized
+VIP/RIP request queue is a :class:`Store` of request objects.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+
+class _StoreGet(Event):
+    __slots__ = ("filter",)
+
+    def __init__(self, env: "Environment", filt: Optional[Callable[[Any], bool]] = None):
+        super().__init__(env)
+        self.filter = filt
+
+
+class Store:
+    """An unbounded (or bounded) FIFO store of items."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: list[Any] = []
+        self._getters: list[_StoreGet] = []
+        self._putters: list[tuple[Event, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Append *item*; blocks while the store is full."""
+        ev = Event(self.env)
+        self._putters.append((ev, item))
+        self._settle()
+        return ev
+
+    def get(self) -> Event:
+        """Pop the oldest matching item; the event's value is the item."""
+        ev = _StoreGet(self.env)
+        self._getters.append(ev)
+        self._settle()
+        return ev
+
+    def _match(self, getter: _StoreGet) -> Optional[int]:
+        if getter.filter is None:
+            return 0 if self.items else None
+        for i, item in enumerate(self.items):
+            if getter.filter(item):
+                return i
+        return None
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and len(self.items) < self.capacity:
+                ev, item = self._putters.pop(0)
+                self.items.append(item)
+                ev.succeed()
+                progressed = True
+            # Serve getters in FIFO order; skip those with no matching item.
+            remaining: list[_StoreGet] = []
+            for getter in self._getters:
+                idx = self._match(getter)
+                if idx is None:
+                    remaining.append(getter)
+                else:
+                    getter.succeed(self.items.pop(idx))
+                    progressed = True
+            self._getters = remaining
+
+
+class FilterStore(Store):
+    """A store whose getters may specify a predicate over items."""
+
+    def get(self, filt: Optional[Callable[[Any], bool]] = None) -> Event:  # type: ignore[override]
+        ev = _StoreGet(self.env, filt)
+        self._getters.append(ev)
+        self._settle()
+        return ev

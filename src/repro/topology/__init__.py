@@ -1,0 +1,39 @@
+"""Data-center network topologies.
+
+The paper's architecture relies on "recent advances in data center
+topologies" — fat-tree (Al-Fares et al., SIGCOMM'08), VL2 (Greenberg et
+al., SIGCOMM'09) and PortLand (Mysore et al., SIGCOMM'09) — which guarantee
+bandwidth between any host pair and give a flat address space.  That is
+what lets the LB switches sit at the access network and reach any server.
+We implement all three, plus the legacy oversubscribed 3-tier tree they
+replace, and the analysis used to compare them (bisection bandwidth,
+oversubscription, host-pair bandwidth guarantees).
+"""
+
+from repro.topology.base import Link, Node, NodeKind, Topology
+from repro.topology.fattree import FatTree
+from repro.topology.vl2 import VL2
+from repro.topology.portland import PortLand
+from repro.topology.tree import ThreeTierTree
+from repro.topology.routing import ecmp_paths, shortest_path_links
+from repro.topology.analysis import (
+    bisection_bandwidth,
+    host_pair_guarantee,
+    oversubscription_ratio,
+)
+
+__all__ = [
+    "Node",
+    "NodeKind",
+    "Link",
+    "Topology",
+    "FatTree",
+    "VL2",
+    "PortLand",
+    "ThreeTierTree",
+    "ecmp_paths",
+    "shortest_path_links",
+    "bisection_bandwidth",
+    "oversubscription_ratio",
+    "host_pair_guarantee",
+]

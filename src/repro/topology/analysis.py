@@ -1,0 +1,84 @@
+"""Topology analysis: bisection bandwidth, oversubscription, guarantees.
+
+These quantify the paper's premise (Section III-B): modern topologies
+"guarantee bandwidth between any host-pair within the data center", which is
+what permits placing LB switches at the access network instead of next to
+the servers.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.topology.base import NodeKind, Topology
+
+
+def bisection_bandwidth(topo: Topology) -> float:
+    """Capacity (Gbps) of the minimum cut separating two balanced halves of
+    the hosts (hosts sorted by name; first half vs second half).
+
+    For the symmetric topologies built here this equals the true bisection
+    bandwidth; for arbitrary graphs it is an upper bound on it (one specific
+    bisection).
+    """
+    hosts = sorted(h.name for h in topo.hosts)
+    if len(hosts) < 2:
+        raise ValueError("need at least two hosts")
+    half = len(hosts) // 2
+    left, right = hosts[:half], hosts[half:]
+
+    g = nx.Graph()
+    for link in topo.links():
+        g.add_edge(link.a, link.b, capacity=link.capacity_gbps)
+    src, dst = "__S__", "__T__"
+    for h in left:
+        g.add_edge(src, h, capacity=float("inf"))
+    for h in right:
+        g.add_edge(h, dst, capacity=float("inf"))
+    cut_value, _ = nx.minimum_cut(g, src, dst, capacity="capacity")
+    return float(cut_value)
+
+
+def oversubscription_ratio(topo: Topology) -> float:
+    """Worst-case end-to-end oversubscription for cross-core traffic.
+
+    Computed tier by tier: for every edge switch, the ratio of host-facing
+    to upstream capacity; likewise for every aggregation switch; the result
+    is the product of the worst per-tier ratios (>= 1; 1.0 means full
+    bisection at every tier).
+    """
+
+    def tier_ratio(kind: NodeKind, down_kind: NodeKind, up_kind: NodeKind) -> float:
+        worst = 1.0
+        for node in topo.nodes(kind):
+            down = up = 0.0
+            for nb in topo.neighbors(node.name):
+                cap = topo.link_capacity(node.name, nb)
+                nb_kind = topo.node(nb).kind
+                if nb_kind == down_kind:
+                    down += cap
+                elif nb_kind == up_kind:
+                    up += cap
+            if up > 0 and down > 0:
+                worst = max(worst, down / up)
+        return worst
+
+    edge_ratio = tier_ratio(NodeKind.EDGE, NodeKind.HOST, NodeKind.AGG)
+    agg_ratio = tier_ratio(NodeKind.AGG, NodeKind.EDGE, NodeKind.CORE)
+    return edge_ratio * agg_ratio
+
+
+def host_pair_guarantee(topo: Topology) -> float:
+    """Fraction of its NIC rate a host is guaranteed under a worst-case
+    all-hosts permutation workload (hose model):
+    ``bisection_bandwidth / (num_hosts / 2) / host_rate``, capped at 1.
+
+    1.0 for fat-tree/VL2 (the "guaranteed bandwidth between any host pair"
+    premise); < 1 for oversubscribed trees.
+    """
+    hosts = topo.hosts
+    if len(hosts) < 2:
+        raise ValueError("need at least two hosts")
+    host_rate = min(topo.host_uplink_gbps(h.name) for h in hosts)
+    per_host = bisection_bandwidth(topo) / (len(hosts) / 2)
+    return min(1.0, per_host / host_rate)

@@ -1,0 +1,80 @@
+"""k-ary fat-tree (Al-Fares, Loukissas, Vahdat — SIGCOMM 2008).
+
+A k-ary fat-tree has k pods.  Each pod holds k/2 edge switches and k/2
+aggregation switches; each edge switch attaches k/2 hosts.  (k/2)^2 core
+switches connect the pods.  With uniform link capacity the network has full
+bisection bandwidth: any host can talk to any other host at its full NIC
+rate, which is the property the paper's LB-switch placement relies on.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Node, NodeKind, Topology
+
+
+class FatTree(Topology):
+    """Build a k-ary fat-tree.
+
+    Parameters
+    ----------
+    k:
+        Switch port count; must be even and >= 2.  Yields ``k**3 / 4`` hosts.
+    link_gbps:
+        Uniform link capacity (default 1 Gbps, as in the original paper's
+        commodity-switch setting).
+    """
+
+    def __init__(self, k: int = 4, link_gbps: float = 1.0):
+        if k < 2 or k % 2 != 0:
+            raise ValueError(f"fat-tree arity k must be even and >= 2, got {k}")
+        super().__init__(name=f"fattree-k{k}")
+        self.k = k
+        self.link_gbps = link_gbps
+        half = k // 2
+
+        # Core switches, indexed (i, j) in a half x half grid.
+        cores = [
+            self.add_node(Node(f"core-{i}-{j}", NodeKind.CORE))
+            for i in range(half)
+            for j in range(half)
+        ]
+
+        self.pod_edge: list[list[Node]] = []
+        self.pod_agg: list[list[Node]] = []
+        for pod in range(k):
+            aggs = [
+                self.add_node(Node(f"agg-{pod}-{a}", NodeKind.AGG, group=pod))
+                for a in range(half)
+            ]
+            edges = [
+                self.add_node(Node(f"edge-{pod}-{e}", NodeKind.EDGE, group=pod))
+                for e in range(half)
+            ]
+            self.pod_agg.append(aggs)
+            self.pod_edge.append(edges)
+            # Full bipartite agg <-> edge inside the pod.
+            for agg in aggs:
+                for edge in edges:
+                    self.add_link(agg.name, edge.name, link_gbps)
+            # Aggregation switch `a` connects to core row `a`.
+            for a, agg in enumerate(aggs):
+                for j in range(half):
+                    self.add_link(agg.name, f"core-{a}-{j}", link_gbps)
+            # Hosts.
+            for e, edge in enumerate(edges):
+                for h in range(half):
+                    host = self.add_node(
+                        Node(f"host-{pod}-{e}-{h}", NodeKind.HOST, group=pod)
+                    )
+                    self.add_link(edge.name, host.name, link_gbps)
+
+        self.cores = cores
+        self.validate()
+
+    @property
+    def expected_hosts(self) -> int:
+        return self.k**3 // 4
+
+    def host_pod(self, host_name: str) -> int:
+        """Fat-tree pod index of a host (its construction group)."""
+        return self.node(host_name).group

@@ -1,0 +1,96 @@
+"""PortLand (Mysore et al. — SIGCOMM 2009).
+
+PortLand keeps the fat-tree wiring but layers a location-encoding pseudo MAC
+(PMAC) scheme ``pod:position:port:vmid`` and a central *fabric manager* that
+resolves IP -> PMAC (proxy ARP), giving a flat, migration-friendly layer-2
+address space.  For this reproduction the interesting parts are the PMAC
+addressing and the fabric-manager resolution path, since they are what make
+"logical pods decoupled from physical location" possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.topology.fattree import FatTree
+
+
+@dataclass(frozen=True)
+class PMAC:
+    """A PortLand pseudo-MAC: (pod, position, port, vmid)."""
+
+    pod: int
+    position: int
+    port: int
+    vmid: int
+
+    def __str__(self) -> str:
+        return f"{self.pod:02x}:{self.position:02x}:{self.port:04x}:{self.vmid:04x}"
+
+
+class FabricManager:
+    """PortLand's logically-central IP->PMAC resolution service."""
+
+    def __init__(self):
+        self._table: dict[str, PMAC] = {}
+        self.resolutions = 0
+        self.misses = 0
+
+    def register(self, ip: str, pmac: PMAC) -> None:
+        self._table[ip] = pmac
+
+    def unregister(self, ip: str) -> None:
+        self._table.pop(ip, None)
+
+    def resolve(self, ip: str) -> Optional[PMAC]:
+        """Proxy-ARP resolution; returns None on miss (flood suppressed)."""
+        self.resolutions += 1
+        pmac = self._table.get(ip)
+        if pmac is None:
+            self.misses += 1
+        return pmac
+
+    def migrate(self, ip: str, new_pmac: PMAC) -> None:
+        """Update a VM's location after migration (invalidation handled
+        by gratuitous ARP in real PortLand; here the table is authoritative)."""
+        if ip not in self._table:
+            raise KeyError(f"unknown ip {ip}")
+        self._table[ip] = new_pmac
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+class PortLand(FatTree):
+    """A fat-tree with PMAC addressing and a fabric manager."""
+
+    def __init__(self, k: int = 4, link_gbps: float = 1.0):
+        super().__init__(k=k, link_gbps=link_gbps)
+        self.name = f"portland-k{k}"
+        self.fabric_manager = FabricManager()
+        # host name -> base PMAC (vmid 0); VMs on the host use vmid >= 1.
+        self._host_pmac: dict[str, PMAC] = {}
+        for pod in range(k):
+            for e in range(k // 2):
+                for h in range(k // 2):
+                    name = f"host-{pod}-{e}-{h}"
+                    self._host_pmac[name] = PMAC(pod=pod, position=e, port=h, vmid=0)
+
+    def host_pmac(self, host_name: str, vmid: int = 0) -> PMAC:
+        """PMAC of a host (or of VM *vmid* on that host)."""
+        base = self._host_pmac[host_name]
+        return PMAC(base.pod, base.position, base.port, vmid)
+
+    def register_vm(self, ip: str, host_name: str, vmid: int) -> PMAC:
+        """Place a VM with address *ip* on *host_name*; returns its PMAC."""
+        pmac = self.host_pmac(host_name, vmid)
+        self.fabric_manager.register(ip, pmac)
+        return pmac
+
+    def locate(self, ip: str) -> Optional[str]:
+        """Reverse lookup: host name currently holding *ip*, if any."""
+        pmac = self.fabric_manager.resolve(ip)
+        if pmac is None:
+            return None
+        return f"host-{pmac.pod}-{pmac.position}-{pmac.port}"

@@ -1,0 +1,68 @@
+"""Routing over topologies: shortest paths, ECMP enumeration and splitting."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import networkx as nx
+
+
+def ecmp_paths(topo, src: str, dst: str, limit: int = 64) -> list[list[str]]:
+    """All equal-cost (hop-count) shortest paths from *src* to *dst*.
+
+    ``limit`` caps enumeration on highly redundant fabrics; deterministic
+    order (networkx iteration order is insertion order).
+    """
+    if src == dst:
+        return [[src]]
+    paths = []
+    for path in nx.all_shortest_paths(topo.graph, src, dst):
+        paths.append(path)
+        if len(paths) >= limit:
+            break
+    return paths
+
+
+def shortest_path_links(topo, src: str, dst: str) -> list[tuple[str, str]]:
+    """Link keys along one deterministic shortest path."""
+    path = nx.shortest_path(topo.graph, src, dst)
+    return [tuple(sorted((path[i], path[i + 1]))) for i in range(len(path) - 1)]
+
+
+def ecmp_link_loads(
+    topo, demands: Mapping[tuple[str, str], float], limit: int = 64
+) -> dict[tuple[str, str], float]:
+    """Per-link offered load when each demand is split evenly over its ECMP
+    paths (hash-based splitting in expectation).
+
+    Parameters
+    ----------
+    demands:
+        ``(src, dst) -> rate`` in Gbps.
+
+    Returns
+    -------
+    ``(node_a, node_b) -> load`` with canonically sorted keys.
+    """
+    loads: dict[tuple[str, str], float] = {}
+    for (src, dst), rate in demands.items():
+        if rate <= 0 or src == dst:
+            continue
+        paths = ecmp_paths(topo, src, dst, limit=limit)
+        share = rate / len(paths)
+        for path in paths:
+            for i in range(len(path) - 1):
+                key = tuple(sorted((path[i], path[i + 1])))
+                loads[key] = loads.get(key, 0.0) + share
+    return loads
+
+
+def max_link_utilization(
+    topo, loads: Mapping[tuple[str, str], float]
+) -> float:
+    """Maximum load/capacity over all links carrying load."""
+    worst = 0.0
+    for (a, b), load in loads.items():
+        cap = topo.link_capacity(a, b)
+        worst = max(worst, load / cap)
+    return worst

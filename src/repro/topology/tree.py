@@ -1,0 +1,66 @@
+"""Legacy oversubscribed 3-tier tree — the baseline modern topologies replace.
+
+Traditional data centers used a core/aggregation/edge tree with heavy
+oversubscription (1:5 to 1:240 per Greenberg et al.).  Host-pair bandwidth
+depends on location, which is why traditional LB switches had to sit next to
+their servers and why the paper's border placement needs a modern fabric.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Node, NodeKind, Topology
+
+
+class ThreeTierTree(Topology):
+    """Build a classic 3-tier tree.
+
+    Parameters
+    ----------
+    aggs:
+        Number of aggregation switches (each attached to the single core).
+    edges_per_agg:
+        Edge (ToR) switches per aggregation switch.
+    hosts_per_edge:
+        Hosts per edge switch.
+    host_gbps:
+        Host attachment rate.
+    oversubscription:
+        Uplink oversubscription factor at each tier (>= 1).  An edge switch
+        carrying ``hosts_per_edge`` hosts gets an uplink of
+        ``hosts_per_edge * host_gbps / oversubscription``; likewise for the
+        aggregation uplinks.
+    """
+
+    def __init__(
+        self,
+        aggs: int = 2,
+        edges_per_agg: int = 4,
+        hosts_per_edge: int = 8,
+        host_gbps: float = 1.0,
+        oversubscription: float = 4.0,
+    ):
+        if oversubscription < 1:
+            raise ValueError("oversubscription must be >= 1")
+        if min(aggs, edges_per_agg, hosts_per_edge) < 1:
+            raise ValueError("all tier sizes must be >= 1")
+        super().__init__(name=f"tree-{aggs}x{edges_per_agg}x{hosts_per_edge}")
+        self.oversubscription = oversubscription
+        self.host_gbps = host_gbps
+
+        core = self.add_node(Node("core-0", NodeKind.CORE))
+        edge_uplink = hosts_per_edge * host_gbps / oversubscription
+        agg_uplink = edges_per_agg * edge_uplink / oversubscription
+
+        for a in range(aggs):
+            agg = self.add_node(Node(f"agg-{a}", NodeKind.AGG, group=a))
+            self.add_link(core.name, agg.name, agg_uplink)
+            for e in range(edges_per_agg):
+                edge = self.add_node(Node(f"edge-{a}-{e}", NodeKind.EDGE, group=a))
+                self.add_link(agg.name, edge.name, edge_uplink)
+                for h in range(hosts_per_edge):
+                    host = self.add_node(
+                        Node(f"host-{a}-{e}-{h}", NodeKind.HOST, group=a)
+                    )
+                    self.add_link(edge.name, host.name, host_gbps)
+
+        self.validate()

@@ -1,0 +1,91 @@
+"""VL2 Clos network (Greenberg et al. — SIGCOMM 2009).
+
+VL2 is a folded Clos: ToR switches uplink (at 10 Gbps in the paper) to two
+aggregation switches; every aggregation switch connects to every
+intermediate switch.  Valiant load balancing over the intermediates gives a
+uniform-capacity "virtual layer 2" with full bisection bandwidth, plus a
+flat address space (AAs over LAs) — the second property the paper's
+architecture needs.
+
+With ``da``-port aggregation and ``di``-port intermediate switches, VL2
+supports ``da * di / 4`` ToRs.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Node, NodeKind, Topology
+
+
+class VL2(Topology):
+    """Build a VL2 Clos topology.
+
+    Parameters
+    ----------
+    da:
+        Aggregation-switch port count (even).  ``da/2`` ports face the
+        intermediates, ``da/2`` face ToRs.
+    di:
+        Intermediate-switch port count; equals the number of aggregation
+        switches.
+    servers_per_tor:
+        Hosts attached to each ToR (VL2 paper uses 20).
+    tor_uplink_gbps / server_gbps:
+        Link rates (VL2: 10 G uplinks, 1 G server links).
+    """
+
+    def __init__(
+        self,
+        da: int = 4,
+        di: int = 4,
+        servers_per_tor: int = 4,
+        tor_uplink_gbps: float = 10.0,
+        server_gbps: float = 1.0,
+    ):
+        if da < 2 or da % 2 != 0:
+            raise ValueError(f"da must be even and >= 2, got {da}")
+        if di < 1:
+            raise ValueError(f"di must be >= 1, got {di}")
+        super().__init__(name=f"vl2-da{da}-di{di}")
+        self.da, self.di = da, di
+        self.servers_per_tor = servers_per_tor
+
+        n_int = da // 2
+        n_agg = di
+        n_tor = (da * di) // 4
+
+        self.intermediates = [
+            self.add_node(Node(f"int-{i}", NodeKind.CORE)) for i in range(n_int)
+        ]
+        self.aggs = [
+            self.add_node(Node(f"agg-{a}", NodeKind.AGG)) for a in range(n_agg)
+        ]
+        # Complete bipartite aggregation <-> intermediate.
+        for agg in self.aggs:
+            for inter in self.intermediates:
+                self.add_link(agg.name, inter.name, tor_uplink_gbps)
+
+        self.tors = []
+        for t in range(n_tor):
+            tor = self.add_node(Node(f"tor-{t}", NodeKind.EDGE, group=t))
+            self.tors.append(tor)
+            # Each ToR uplinks to two distinct aggregation switches.
+            a1 = (2 * t) % n_agg
+            a2 = (2 * t + 1) % n_agg
+            if a1 == a2:  # n_agg == 1: single uplink only
+                self.add_link(tor.name, self.aggs[a1].name, tor_uplink_gbps)
+            else:
+                self.add_link(tor.name, self.aggs[a1].name, tor_uplink_gbps)
+                self.add_link(tor.name, self.aggs[a2].name, tor_uplink_gbps)
+            for s in range(servers_per_tor):
+                host = self.add_node(Node(f"host-{t}-{s}", NodeKind.HOST, group=t))
+                self.add_link(tor.name, host.name, server_gbps)
+
+        self.validate()
+
+    @property
+    def expected_tors(self) -> int:
+        return (self.da * self.di) // 4
+
+    @property
+    def expected_hosts(self) -> int:
+        return self.expected_tors * self.servers_per_tor

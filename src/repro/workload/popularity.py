@@ -1,0 +1,65 @@
+"""Application popularity: Zipf weights and popularity-aware VIP allocation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zipf_weights(n: int, s: float = 0.8) -> np.ndarray:
+    """Normalized Zipf(s) popularity over *n* applications (rank 1 most
+    popular).  Web-site popularity is classically Zipf with s in [0.6, 1.0].
+    """
+    if n < 1:
+        raise ValueError("need at least one application")
+    if s < 0:
+        raise ValueError("zipf exponent must be non-negative")
+    ranks = np.arange(1, n + 1, dtype=float)
+    w = ranks**-s
+    return w / w.sum()
+
+
+def allocate_vip_counts(
+    popularity: np.ndarray, mean_vips: float = 3.0, min_vips: int = 1, max_vips: int = 16
+) -> np.ndarray:
+    """VIPs per application, proportional to popularity.
+
+    Section IV-A: "we assign three VIPs per application on average (popular
+    applications are assigned more than unpopular applications)".  The
+    allocation is largest-remainder rounding of ``popularity * n * mean``
+    clamped to [min_vips, max_vips], then trimmed/topped-up to hit the total
+    budget ``round(n * mean)`` exactly.
+    """
+    pop = np.asarray(popularity, dtype=float)
+    n = pop.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=int)
+    if mean_vips < min_vips:
+        raise ValueError("mean_vips must be >= min_vips")
+    budget = int(round(n * mean_vips))
+    raw = pop / pop.sum() * budget
+    counts = np.clip(np.floor(raw).astype(int), min_vips, max_vips)
+    # Largest remainders get the leftover budget, respecting the cap.
+    remainder = raw - np.floor(raw)
+    order = np.argsort(-remainder, kind="stable")
+    deficit = budget - int(counts.sum())
+    i = 0
+    while deficit > 0 and i < 4 * n:
+        idx = order[i % n]
+        if counts[idx] < max_vips:
+            counts[idx] += 1
+            deficit -= 1
+        i += 1
+    # If over budget (clamping to min_vips overshot), trim the least popular.
+    i = n - 1
+    while deficit < 0 and i >= 0:
+        idx = int(np.argsort(pop, kind="stable")[i % n])
+        # trim from least popular apps that are above the floor
+        for j in np.argsort(pop, kind="stable"):
+            if counts[j] > min_vips:
+                counts[j] -= 1
+                deficit += 1
+                break
+        else:
+            break
+        i -= 1
+    return counts

@@ -1,0 +1,106 @@
+"""Tests for the co-placement (affinity) extension."""
+
+import pytest
+
+from repro.core.affinity import (
+    affinity_groups,
+    colocation_probability,
+    cross_pod_backend_gbps,
+    pod_fractions,
+)
+from repro.core.pod import Pod
+from repro.hosts.server import PhysicalServer, ServerSpec
+from repro.hosts.vm import VM, VMState
+from repro.workload.apps import AppSpec
+from repro.workload.demand import ConstantDemand
+
+
+def make_pods():
+    pods = {}
+    for name in ("p1", "p2"):
+        pod = Pod(name, 10, 20)
+        pod.add_server(PhysicalServer(f"{name}-s0", ServerSpec(cpu_capacity=4.0)))
+        pods[name] = pod
+    return pods
+
+
+def place(pods, pod, app, cpu):
+    server = pods[pod].servers[0]
+    vm = VM(f"{app}@{server.name}", app, cpu, 1.0, state=VMState.RUNNING)
+    server.attach(vm)
+
+
+def test_pod_fractions():
+    pods = make_pods()
+    place(pods, "p1", "fe", 0.6)
+    place(pods, "p2", "fe", 0.2)
+    f = pod_fractions(pods, "fe")
+    assert f == pytest.approx({"p1": 0.75, "p2": 0.25})
+    assert pod_fractions(pods, "ghost") == {}
+
+
+def test_colocation_probability():
+    assert colocation_probability({"p1": 1.0}, {"p1": 1.0}) == 1.0
+    assert colocation_probability({"p1": 1.0}, {"p2": 1.0}) == 0.0
+    assert colocation_probability(
+        {"p1": 0.5, "p2": 0.5}, {"p1": 0.5, "p2": 0.5}
+    ) == pytest.approx(0.5)
+
+
+def test_cross_pod_backend_perfect_colocation_is_zero():
+    pods = make_pods()
+    place(pods, "p1", "fe", 0.5)
+    place(pods, "p1", "db", 0.3)
+    specs = [
+        AppSpec("fe", 0.5, ConstantDemand(1.0), affinity_group="site"),
+        AppSpec("db", 0.5, ConstantDemand(0.5), affinity_group="site"),
+    ]
+    groups = affinity_groups(specs)
+    cross, total = cross_pod_backend_gbps(
+        groups, lambda a: pod_fractions(pods, a), t=0.0
+    )
+    assert total == pytest.approx(0.25)  # 0.5 * min(1.0, 0.5)
+    assert cross == pytest.approx(0.0)
+
+
+def test_cross_pod_backend_full_separation():
+    pods = make_pods()
+    place(pods, "p1", "fe", 0.5)
+    place(pods, "p2", "db", 0.3)
+    specs = [
+        AppSpec("fe", 0.5, ConstantDemand(1.0), affinity_group="site"),
+        AppSpec("db", 0.5, ConstantDemand(0.5), affinity_group="site"),
+    ]
+    cross, total = cross_pod_backend_gbps(
+        affinity_groups(specs), lambda a: pod_fractions(pods, a), t=0.0
+    )
+    assert cross == pytest.approx(total)
+
+
+def test_affinity_groups_filters_singletons_and_ungrouped():
+    specs = [
+        AppSpec("a", 0.3, ConstantDemand(1.0), affinity_group="g1"),
+        AppSpec("b", 0.3, ConstantDemand(1.0), affinity_group="g1"),
+        AppSpec("c", 0.2, ConstantDemand(1.0), affinity_group="solo"),
+        AppSpec("d", 0.2, ConstantDemand(1.0)),
+    ]
+    groups = affinity_groups(specs)
+    assert set(groups) == {"g1"}
+    assert len(groups["g1"]) == 2
+
+
+def test_datacenter_bootstrap_coplaces_groups():
+    from repro.core import MegaDataCenter, PlatformConfig
+    from repro.experiments.extensions import _tiered_workload
+
+    apps = _tiered_workload(n_sites=4, gbps_per_site=1.0)
+    dc = MegaDataCenter(
+        apps, config=PlatformConfig(), n_pods=4, servers_per_pod=8, n_switches=4
+    )
+    pods = {name: m.pod for name, m in dc.pod_managers.items()}
+    # Each site's tiers overlap in at least one pod at bootstrap.
+    for s in range(4):
+        tier_pods = [
+            set(pod_fractions(pods, f"site{s:02d}-{t}")) for t in ("fe", "app", "db")
+        ]
+        assert set.intersection(*tier_pods), f"site {s} tiers fully separated"

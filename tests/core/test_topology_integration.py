@@ -1,0 +1,80 @@
+"""PortLand fabric integration: RIP locations stay consistent with VMs."""
+
+import pytest
+
+from repro.core import MegaDataCenter, PlatformConfig
+from repro.topology import PortLand
+from repro.workload.apps import AppSpec
+from repro.workload.demand import ConstantDemand, StepDemand
+
+
+def build(apps, k=6, **kwargs):
+    defaults = dict(n_pods=3, servers_per_pod=8, n_switches=4)
+    defaults.update(kwargs)
+    return MegaDataCenter(
+        apps, config=PlatformConfig(), topology=PortLand(k=k), **defaults
+    )
+
+
+def fabric_consistent(dc) -> bool:
+    """Every registered RIP's fabric-manager location equals the host its
+    server is mapped to (the Section III-B flat-address-space invariant)."""
+    for rip, info in dc.state.rips.items():
+        located = dc.locate_rip(rip)
+        expected = dc._server_host.get(info.vm.host)
+        if located != expected:
+            return False
+    return True
+
+
+def test_topology_too_small_rejected():
+    apps = [AppSpec("a", 1.0, ConstantDemand(1.0), n_vips=2)]
+    with pytest.raises(ValueError, match="hosts"):
+        build([apps[0]], k=2, n_pods=4, servers_per_pod=8)  # k=2 -> 2 hosts
+
+
+def test_bootstrap_registers_all_rips():
+    apps = [AppSpec(f"a{i}", 0.25, ConstantDemand(1.0), n_vips=2) for i in range(4)]
+    dc = build(apps)
+    assert len(dc.topology.fabric_manager) == len(dc.state.rips)
+    assert fabric_consistent(dc)
+
+
+def test_fabric_tracks_scale_up_and_down():
+    apps = [
+        AppSpec("wave", 0.5, StepDemand(before=0.5, after=8.0, at=300.0), n_vips=2),
+        AppSpec("flat", 0.5, ConstantDemand(1.0), n_vips=2),
+    ]
+    dc = build(apps)
+    dc.run(15 * 60.0)
+    assert fabric_consistent(dc)
+    assert len(dc.topology.fabric_manager) == len(dc.state.rips)
+    # the scale-up created instances whose fabric locations resolve
+    wave_rips = [r for r, i in dc.state.rips.items() if i.app == "wave"]
+    assert len(wave_rips) >= 2
+    for rip in wave_rips:
+        assert dc.locate_rip(rip) is not None
+
+
+def test_locate_rip_without_topology_is_none():
+    apps = [AppSpec("a", 1.0, ConstantDemand(1.0), n_vips=2)]
+    dc = MegaDataCenter(
+        apps, config=PlatformConfig(), n_pods=2, servers_per_pod=4, n_switches=4
+    )
+    assert dc.locate_rip("10.0.0.0") is None
+
+
+def test_server_transfer_keeps_fabric_locations():
+    # K3 moves servers between *logical* pods; physical hosts (and hence
+    # fabric locations) must not change — that is the whole point of
+    # location-free pods.
+    apps = [
+        AppSpec("hot", 0.9, StepDemand(before=0.2, after=10.0, at=120.0), n_vips=2),
+        AppSpec("cold", 0.1, ConstantDemand(0.5), n_vips=2),
+    ]
+    dc = build(apps, k=6, n_pods=4, servers_per_pod=6)
+    before_hosts = dict(dc._server_host)
+    dc.run(20 * 60.0)
+    assert dc._server_host == before_hosts  # physical mapping untouched
+    assert fabric_consistent(dc)
+    assert dc.action_log().count("K3") + dc.action_log().count("K4") >= 1

@@ -1,0 +1,70 @@
+"""Property tests for the two-layer evaluator: decoupling never hurts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.two_layer import TwoLayerFabric, VipBinding
+
+
+@st.composite
+def conflict_instances(draw):
+    n_links = draw(st.integers(1, 4))
+    n_pods = draw(st.integers(1, 4))
+    links = {f"l{i}": draw(st.floats(1.0, 20.0)) for i in range(n_links)}
+    pods = {f"p{i}": draw(st.floats(1.0, 20.0)) for i in range(n_pods)}
+    n_vips = draw(st.integers(1, 6))
+    bindings = []
+    for v in range(n_vips):
+        link = f"l{draw(st.integers(0, n_links - 1))}"
+        # random pod mix over 1-2 pods, normalized to a distribution
+        p1 = draw(st.integers(0, n_pods - 1))
+        frac = draw(st.floats(0.05, 0.95))
+        p2 = draw(st.integers(0, n_pods - 1))
+        merged: dict[str, float] = {}
+        for k, val in ((f"p{p1}", frac), (f"p{p2}", 1.0 - frac)):
+            merged[k] = merged.get(k, 0.0) + val
+        total = sum(merged.values())
+        merged = {k: val / total for k, val in merged.items()}
+        bindings.append(VipBinding(f"v{v}", link, merged))
+    demand = draw(st.floats(0.5, 30.0))
+    return links, pods, bindings, demand
+
+
+@settings(max_examples=60, deadline=None)
+@given(conflict_instances())
+def test_two_layer_never_worse_than_single(instance):
+    links, pods, bindings, demand = instance
+    fabric = TwoLayerFabric(links, pods)
+    single = fabric.solve_single_layer(bindings, demand)
+    two = fabric.solve_two_layer({b.vip: b.link for b in bindings}, demand)
+    # The two-layer architecture decouples the objectives: it can always
+    # do at least as well on the worst utilization...
+    assert two.worst <= single.worst + 1e-6
+    # ...and both weight vectors are distributions.
+    assert sum(single.weights.values()) == pytest.approx(1.0, abs=1e-6)
+    assert sum(two.weights.values()) == pytest.approx(1.0, abs=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(conflict_instances())
+def test_single_layer_result_is_feasible_optimum(instance):
+    links, pods, bindings, demand = instance
+    fabric = TwoLayerFabric(links, pods)
+    result = fabric.solve_single_layer(bindings, demand)
+    # Reported utilizations must match the returned weights exactly.
+    w = np.array([result.weights[b.vip] for b in bindings])
+    assert result.max_link_utilization == pytest.approx(
+        fabric._link_util(bindings, w, demand), abs=1e-6
+    )
+    assert result.max_pod_utilization == pytest.approx(
+        fabric._pod_util(bindings, w, demand), abs=1e-6
+    )
+    # No uniform weighting can beat the LP optimum.
+    uniform = np.full(len(bindings), 1.0 / len(bindings))
+    uniform_worst = max(
+        fabric._link_util(bindings, uniform, demand),
+        fabric._pod_util(bindings, uniform, demand),
+    )
+    assert result.worst <= uniform_worst + 1e-6

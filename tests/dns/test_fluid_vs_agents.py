@@ -1,0 +1,125 @@
+"""Cross-validation: the fluid DNS model vs the agent-based population.
+
+The two models agree qualitatively (monotone decay, violator tail), and the
+fluid model's exponential relaxation is a *conservative upper bound* on the
+agents' residual share: resolver caches staggered uniformly over a TTL
+decay ~linearly within one TTL, faster than ``exp(-t/ttl)``.  Conservatism
+is the property the control plane needs — a K2 transfer that waits for the
+fluid residual to drain never moves earlier than the real client population
+allows.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.dns import AuthoritativeDNS, FluidDNSModel, ResolverPopulation
+from repro.sim import Environment, RngHub
+
+
+def agent_share_trajectory(
+    violator_fraction: float,
+    ttl_s: float,
+    sample_times: list[float],
+    population: int = 800,
+    violation_factor: float = 10.0,
+    seed: int = 0,
+):
+    """Share of vip1 over time in a *staggered* agent population."""
+    env = Environment()
+    dns = AuthoritativeDNS(env, default_ttl_s=ttl_s)
+    dns.configure("app", {"vip1": 1.0, "vip2": 1.0})
+    pop = ResolverPopulation(
+        env,
+        dns,
+        RngHub(seed).stream("pop"),
+        size=population,
+        violator_fraction=violator_fraction,
+        violation_factor=violation_factor,
+    )
+    # Warm every cache, then stagger the issue times uniformly over each
+    # resolver's effective TTL (a steady-state population, not a thundering
+    # herd that all refreshes at once).
+    pop.lookup_all("app")
+    stagger_rng = np.random.default_rng(seed + 1)
+    for resolver in pop.resolvers:
+        answer = resolver._cache["app"]
+        offset = float(stagger_rng.uniform(0.0, resolver.effective_ttl(answer)))
+        resolver._cache["app"] = dataclasses.replace(
+            answer, issued_at=answer.issued_at - offset
+        )
+    dns.configure("app", {"vip1": 0.0, "vip2": 1.0})
+    shares = []
+
+    def sampler():
+        last = 0.0
+        for t in sample_times:
+            yield env.timeout(t - last)
+            last = t
+            shares.append(pop.shares("app").get("vip1", 0.0))
+
+    env.process(sampler())
+    env.run()
+    return shares
+
+
+def fluid_share_trajectory(
+    violator_fraction: float,
+    ttl_s: float,
+    sample_times: list[float],
+    violation_factor: float = 10.0,
+):
+    env = Environment()
+    dns = AuthoritativeDNS(env, default_ttl_s=ttl_s)
+    dns.configure("app", {"vip1": 1.0, "vip2": 1.0})
+    fluid = FluidDNSModel(
+        dns, violator_fraction=violator_fraction, violation_factor=violation_factor
+    )
+    fluid.ensure_app("app")
+    dns.configure("app", {"vip1": 0.0, "vip2": 1.0})
+    shares = []
+    last = 0.0
+    for t in sample_times:
+        fluid.advance(t - last)
+        last = t
+        shares.append(fluid.share_of("app", "vip1"))
+    return shares
+
+
+TIMES = [10.0, 20.0, 30.0, 60.0, 120.0, 240.0]
+
+
+@pytest.mark.parametrize("violators", [0.0, 0.2])
+def test_both_models_decay_monotonically(violators):
+    for traj in (
+        fluid_share_trajectory(violators, 30.0, TIMES),
+        agent_share_trajectory(violators, 30.0, TIMES),
+    ):
+        assert all(b <= a + 0.03 for a, b in zip(traj, traj[1:]))
+        assert traj[0] < 0.5  # decay began immediately
+
+
+@pytest.mark.parametrize("violators", [0.0, 0.1, 0.2])
+def test_fluid_is_conservative_upper_bound(violators):
+    fluid = fluid_share_trajectory(violators, 30.0, TIMES)
+    agents = agent_share_trajectory(violators, 30.0, TIMES)
+    for f, a, t in zip(fluid, agents, TIMES):
+        assert a <= f + 0.05, f"t={t}: agents={a:.3f} exceed fluid={f:.3f}"
+
+
+def test_compliant_population_fully_drains():
+    # All-compliant: agents empty after one TTL; fluid nearly so by 5 TTLs.
+    agents = agent_share_trajectory(0.0, 30.0, [31.0, 150.0])
+    fluid = fluid_share_trajectory(0.0, 30.0, [150.0])
+    assert agents[0] < 0.02
+    assert agents[1] == 0.0
+    assert fluid[0] < 0.01
+
+
+def test_violator_tail_visible_in_both_models():
+    # At 5 compliant TTLs, only the TTL violators still hold vip1.
+    t = [150.0]
+    assert fluid_share_trajectory(0.3, 30.0, t)[0] > 0.05
+    assert agent_share_trajectory(0.3, 30.0, t)[0] > 0.03
+    assert agent_share_trajectory(0.0, 30.0, t)[0] == 0.0

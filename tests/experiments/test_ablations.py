@@ -1,0 +1,50 @@
+"""Reduced-scale tests for the ablation experiments."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+def test_pod_size_tradeoff_small():
+    result = ablations.run_pod_size(n_servers=100, pod_sizes=(25, 100))
+    assert len(result.rows) == 2
+    small, big = result.rows
+    assert big[2] >= small[2]  # bigger pod, slower decision
+    assert big[4] >= small[4] - 1e-9  # and no worse quality
+    result.table()
+
+
+def test_drain_ablation_small():
+    result = ablations.run_drain_ablation(trials=4)
+    rows = {r[0]: r for r in result.rows}
+    assert rows["blind transfer"][2] > rows["drain-first (K1 then move)"][2]
+    assert rows["blind transfer"][3] == 0.0
+    result.table()
+
+
+def test_damping_ablation_small():
+    result = ablations.run_damping_ablation(dampings=(0.0, 0.5), duration_s=1500.0)
+    rows = {r[0]: r for r in result.rows}
+    assert rows[0.0][2] >= rows[0.5][2]  # overshoot
+    result.table()
+
+
+def test_compartmentalization_small():
+    result = ablations.run_compartmentalization(
+        n_apps=60, n_switches=12, n_groups=4, mean_total_gbps=28.0, trials=50
+    )
+    rows = {r[0]: r for r in result.rows}
+    assert rows["shared pool"][1] <= rows["partitioned"][1]
+    result.table()
+    with pytest.raises(ValueError, match="divide"):
+        ablations.run_compartmentalization(n_switches=10, n_groups=3)
+
+
+def test_pause_trial_reports_timeout_residue():
+    from repro.experiments.e05_vip_transfer import pause_trial
+
+    stuck = pause_trial(seed=1, violator_fraction=1.0, timeout_s=60.0)
+    if not stuck.paused:
+        assert stuck.sessions_at_timeout > 0
+    clean = pause_trial(seed=1, violator_fraction=0.0)
+    assert clean.sessions_at_timeout == 0

@@ -1,0 +1,167 @@
+"""Tests for access links, BGP announcer, flow allocation and fabric model."""
+
+import numpy as np
+import pytest
+
+from repro.network import (
+    AccessLink,
+    BGPAnnouncer,
+    FabricModel,
+    Flow,
+    FlowAllocation,
+    InternetSide,
+)
+from repro.sim import Environment
+from repro.topology import FatTree, ThreeTierTree
+
+
+# ------------------------------------------------------------- access links
+
+
+def make_internet(env):
+    net = InternetSide(env)
+    net.add_border("br-a")
+    net.add_border("br-b")
+    net.add_access_link("link-a", "isp1", "AR1", "br-a", 10.0, cost_per_gbps=1.0)
+    net.add_access_link("link-b", "isp2", "AR3", "br-b", 10.0, cost_per_gbps=2.0)
+    return net
+
+
+def test_access_link_monitoring():
+    env = Environment()
+    net = make_internet(env)
+    net.link("link-a").set_load(5.0)
+    assert net.link("link-a").utilization == 0.5
+    assert net.link("link-a").cost_rate == 5.0
+    assert net.link("link-b").utilization == 0.0
+
+
+def test_internet_imbalance_and_overload():
+    env = Environment()
+    net = make_internet(env)
+    net.link("link-a").set_load(12.0)
+    net.link("link-b").set_load(4.0)
+    assert net.imbalance() == pytest.approx(1.2 / 0.8)
+    assert [l.name for l in net.overloaded()] == ["link-a"]
+    assert net.total_cost_rate() == pytest.approx(12.0 + 8.0)
+
+
+def test_internet_duplicate_names_rejected():
+    env = Environment()
+    net = make_internet(env)
+    with pytest.raises(ValueError):
+        net.add_border("br-a")
+    with pytest.raises(ValueError):
+        net.add_access_link("link-a", "x", "AR", "br-a", 1.0)
+
+
+def test_unattached_link_raises_on_set_load():
+    link = AccessLink("l", "isp", "AR", 1.0)
+    with pytest.raises(RuntimeError):
+        link.set_load(1.0)
+
+
+def test_border_router_capacity():
+    env = Environment()
+    net = make_internet(env)
+    assert net.borders["br-a"].total_capacity_gbps == 10.0
+
+
+# ---------------------------------------------------------------------- BGP
+
+
+def test_bgp_advertise_converges_after_delay():
+    env = Environment()
+    bgp = BGPAnnouncer(env, convergence_s=30.0)
+
+    def proc():
+        yield from bgp.advertise("vip1", "link-a")
+
+    env.process(proc())
+    env.run(until=29)
+    assert not bgp.is_advertised("vip1", "link-a")
+    env.run()
+    assert bgp.is_advertised("vip1", "link-a")
+    assert bgp.log.advertisements == 1
+
+
+def test_bgp_pad_then_withdraw_flow():
+    env = Environment()
+    bgp = BGPAnnouncer(env, convergence_s=10.0)
+    bgp.advertise_now("vip1", "link-a")
+
+    def proc():
+        yield from bgp.pad("vip1", "link-a")
+        assert bgp.links_for("vip1") == []  # padded routes excluded
+        assert bgp.links_for("vip1", include_padded=True) == ["link-a"]
+        yield from bgp.withdraw("vip1", "link-a")
+
+    env.process(proc())
+    env.run()
+    assert bgp.all_vips() == []
+    assert bgp.log.total == 2  # pad + withdraw; advertise_now not counted
+
+
+def test_bgp_advertise_now_skips_accounting_by_default():
+    env = Environment()
+    bgp = BGPAnnouncer(env)
+    bgp.advertise_now("v", "l")
+    assert bgp.log.total == 0
+    bgp.withdraw_now("v", "l")
+    assert bgp.log.withdrawals == 1
+
+
+# -------------------------------------------------------------------- flows
+
+
+def test_flow_allocation_end_to_end():
+    alloc = FlowAllocation([10.0, 4.0])
+    alloc.add(Flow(key="f1", links=(0,), demand_gbps=np.inf))
+    alloc.add(Flow(key="f2", links=(0, 1), demand_gbps=np.inf))
+    rates = alloc.solve()
+    assert alloc.rate_of("f2") == pytest.approx(4.0)
+    assert alloc.rate_of("f1") == pytest.approx(6.0)
+    assert np.allclose(alloc.loads, [10.0, 4.0])
+    assert np.allclose(alloc.utilizations(), [1.0, 1.0])
+
+
+def test_flow_allocation_satisfied_fraction():
+    alloc = FlowAllocation([4.0])
+    alloc.add(Flow("a", (0,), demand_gbps=3.0))
+    alloc.add(Flow("b", (0,), demand_gbps=3.0))
+    alloc.solve()
+    assert alloc.satisfied_fraction() == pytest.approx(4.0 / 6.0)
+
+
+def test_flow_allocation_unknown_key():
+    alloc = FlowAllocation([1.0])
+    alloc.add(Flow("a", (0,), demand_gbps=1.0))
+    with pytest.raises(KeyError):
+        alloc.rate_of("zzz")
+
+
+# ------------------------------------------------------------------- fabric
+
+
+def test_fabric_modern_is_flat():
+    fm = FabricModel(FatTree(k=4))
+    assert fm.is_flat
+    assert fm.pair_guarantee == pytest.approx(1.0)
+    assert fm.reachable_servers() == 16
+    assert fm.guaranteed_gbps("host-0-0-0") == pytest.approx(1.0)
+
+
+def test_fabric_legacy_compartmentalizes():
+    tree = ThreeTierTree(aggs=2, edges_per_agg=2, hosts_per_edge=8, oversubscription=4.0)
+    fm = FabricModel(tree)
+    assert not fm.is_flat
+    # LB attached near agg-0 subtree only reaches that compartment
+    assert fm.reachable_servers("host-0-0-0") == 16
+    assert fm.reachable_servers() == 32  # no attachment given: count all
+
+
+def test_fabric_external_fraction():
+    fm = FabricModel(FatTree(k=4), external_traffic_fraction=0.2)
+    assert fm.lb_layer_load_gbps(100.0) == pytest.approx(20.0)
+    with pytest.raises(ValueError):
+        FabricModel(FatTree(k=4), external_traffic_fraction=0.0)

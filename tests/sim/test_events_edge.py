@@ -1,0 +1,171 @@
+"""Edge cases of the event system: conditions, triggers, interrupts."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment, Event, Interrupt
+
+
+def test_condition_with_already_failed_event_fails():
+    env = Environment()
+    bad = env.event()
+    caught = []
+
+    def waiter():
+        good = env.timeout(5)
+        try:
+            yield AllOf(env, [good, bad])
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    def failer():
+        yield env.timeout(1)
+        bad.fail(ValueError("sub-event died"))
+
+    env.process(waiter())
+    env.process(failer())
+    env.run()
+    assert caught == ["sub-event died"]
+
+
+def test_condition_mixed_environments_rejected():
+    env1, env2 = Environment(), Environment()
+    with pytest.raises(ValueError, match="different environments"):
+        AllOf(env1, [env1.event(), env2.event()])
+
+
+def test_condition_over_processed_events_fires_immediately():
+    env = Environment()
+    t1 = env.timeout(1, "a")
+    env.run()  # t1 fully processed
+    got = []
+
+    def waiter():
+        outcome = yield AllOf(env, [t1])
+        got.append(list(outcome.values()))
+
+    env.process(waiter())
+    env.run()
+    assert got == [["a"]]
+
+
+def test_anyof_second_failure_after_success_is_ignored():
+    env = Environment()
+    results = []
+
+    def waiter():
+        fast = env.timeout(1, "ok")
+        slow = env.event()
+        outcome = yield AnyOf(env, [fast, slow])
+        results.append(list(outcome.values()))
+        # Late failure of the other branch must not crash the simulation.
+        slow.fail(RuntimeError("too late"))
+        slow.defuse()
+
+    env.process(waiter())
+    env.run()
+    assert results == [["ok"]]
+
+
+def test_event_trigger_copies_outcome():
+    env = Environment()
+    src = env.event()
+    dst = env.event()
+    src.succeed("payload")
+    env.run()
+    dst.trigger(src)
+    env.run()
+    assert dst.ok and dst.value == "payload"
+    fresh = env.event()
+    with pytest.raises(RuntimeError, match="not triggered"):
+        fresh.trigger(env.event())
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_interrupt_before_first_resume():
+    env = Environment()
+    log = []
+
+    def victim():
+        try:
+            yield env.timeout(10)
+        except Interrupt as exc:
+            log.append(("interrupted", env.now, exc.cause))
+
+    proc = env.process(victim())
+    # Interrupt in the same instant, before the victim ever ran.
+    proc.interrupt("early")
+    env.run()
+    assert log == [("interrupted", 0.0, "early")]
+
+
+def test_process_cannot_interrupt_itself():
+    env = Environment()
+
+    def suicidal():
+        yield env.timeout(0)
+        proc.interrupt()
+
+    proc = env.process(suicidal())
+    with pytest.raises(RuntimeError, match="cannot interrupt itself"):
+        env.run()
+
+
+def test_interrupt_cause_none():
+    assert Interrupt().cause is None
+    assert Interrupt("x").cause == "x"
+
+
+def test_double_interrupt_delivers_both():
+    env = Environment()
+    hits = []
+
+    def victim():
+        for _ in range(2):
+            try:
+                yield env.timeout(100)
+            except Interrupt as exc:
+                hits.append(exc.cause)
+
+    proc = env.process(victim())
+
+    def attacker():
+        yield env.timeout(1)
+        proc.interrupt("first")
+        yield env.timeout(1)
+        proc.interrupt("second")
+
+    env.process(attacker())
+    env.run()
+    assert hits == ["first", "second"]
+
+
+def test_run_until_untriggered_event_with_empty_agenda_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(RuntimeError, match="finished before"):
+        env.run(until=ev)
+
+
+def test_run_until_already_processed_event_returns_value():
+    env = Environment()
+    t = env.timeout(1, "v")
+    env.run()
+    assert env.run(until=t) == "v"
+
+
+def test_run_until_failed_event_raises():
+    env = Environment()
+    ev = env.event()
+
+    def failer():
+        yield env.timeout(1)
+        ev.fail(KeyError("boom"))
+
+    env.process(failer())
+    with pytest.raises(KeyError):
+        env.run(until=ev)

@@ -1,0 +1,234 @@
+"""Unit tests for Resource, Container, Store, FilterStore."""
+
+import pytest
+
+from repro.sim import Container, Environment, FilterStore, Resource, Store
+
+
+def test_resource_capacity_enforced():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    log = []
+
+    def worker(name):
+        with res.request() as req:
+            yield req
+            log.append(("start", name, env.now))
+            yield env.timeout(10)
+            log.append(("end", name, env.now))
+
+    for name in "abc":
+        env.process(worker(name))
+    env.run()
+    # a and b start at 0; c must wait until one releases at 10.
+    starts = {n: t for op, n, t in log if op == "start"}
+    assert starts["a"] == 0 and starts["b"] == 0 and starts["c"] == 10
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def worker(name):
+        with res.request() as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1)
+
+    for name in "abcd":
+        env.process(worker(name))
+    env.run()
+    assert order == list("abcd")
+
+
+def test_priority_request_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def holder():
+        req = res.priority_request(0)
+        yield req
+        yield env.timeout(5)
+        res.release(req)
+
+    def worker(name, prio, delay):
+        yield env.timeout(delay)
+        req = res.priority_request(prio)
+        yield req
+        order.append(name)
+        yield env.timeout(1)
+        res.release(req)
+
+    env.process(holder())
+    env.process(worker("low", 5, 1))
+    env.process(worker("high", 1, 2))
+    env.run()
+    assert order == ["high", "low"]
+
+
+def test_resource_count_and_capacity():
+    env = Environment()
+    res = Resource(env, capacity=3)
+    assert res.capacity == 3
+    assert res.count == 0
+    req = res.request()
+    env.run()
+    assert res.count == 1
+    res.release(req)
+    assert res.count == 0
+
+
+def test_resource_release_queued_request_cancels():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    r1 = res.request()
+    r2 = res.request()
+    assert not r2.triggered
+    r2.cancel()
+    r3 = res.request()
+    res.release(r1)
+    env.run()
+    assert r3.triggered and not r2.triggered
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_container_put_get():
+    env = Environment()
+    box = Container(env, capacity=10, init=5)
+    log = []
+
+    def producer():
+        yield env.timeout(2)
+        yield box.put(5)
+        log.append(("put", env.now, box.level))
+
+    def consumer():
+        yield box.get(8)
+        log.append(("got", env.now, box.level))
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert ("got", 2, 2.0) in log
+
+
+def test_container_blocks_on_overflow():
+    env = Environment()
+    box = Container(env, capacity=10, init=10)
+    put_done = []
+
+    def producer():
+        yield box.put(3)
+        put_done.append(env.now)
+
+    def consumer():
+        yield env.timeout(4)
+        yield box.get(5)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert put_done == [4]
+    assert box.level == 8
+
+
+def test_container_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+    with pytest.raises(ValueError):
+        Container(env, capacity=5, init=6)
+    box = Container(env)
+    with pytest.raises(ValueError):
+        box.put(-1)
+    with pytest.raises(ValueError):
+        box.get(-1)
+
+
+def test_store_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    def producer():
+        for item in ("x", "y", "z"):
+            yield env.timeout(1)
+            yield store.put(item)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == ["x", "y", "z"]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer():
+        yield env.timeout(7)
+        yield store.put("late")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [(7, "late")]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    done = []
+
+    def producer():
+        yield store.put(1)
+        yield store.put(2)
+        done.append(env.now)
+
+    def consumer():
+        yield env.timeout(3)
+        yield store.get()
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert done == [3]
+
+
+def test_filter_store_matches_predicate():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def consumer():
+        item = yield store.get(lambda x: x % 2 == 0)
+        got.append(item)
+
+    def producer():
+        yield store.put(1)
+        yield store.put(3)
+        yield env.timeout(1)
+        yield store.put(4)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [4]
+    assert store.items == [1, 3]

@@ -1,0 +1,74 @@
+"""Tests for the ``python -m repro`` CLI.
+
+Output is captured via redirect_stdout because the suite runs with ``-s``
+(so benchmark tables stream to the console).
+"""
+
+import contextlib
+import io
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import EXPERIMENTS, cmd_list, cmd_quickstart, main, run_experiment
+
+
+def run_main(argv):
+    out, err = io.StringIO(), io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        code = main(argv)
+    return code, out.getvalue(), err.getvalue()
+
+
+def test_list_covers_all_experiments():
+    code, out, _ = run_main(["list"])
+    assert code == 0
+    for exp_id in EXPERIMENTS:
+        assert exp_id in out
+
+
+def test_unknown_experiment_rejected():
+    code, _, err = run_main(["run", "e99"])
+    assert code == 2
+    assert "unknown experiment" in err
+
+
+def test_run_fast_experiment():
+    code, out, _ = run_main(["run", "e08"])
+    assert code == 0
+    assert "E8" in out
+    assert "finished in" in out
+
+
+def test_run_experiment_with_two_tables():
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        run_experiment("a2")
+    assert "A2" in buf.getvalue()
+
+
+def test_quickstart_command():
+    code, out, _ = run_main(["quickstart"])
+    assert code == 0
+    assert "satisfied" in out
+    assert "invariants hold: True" in out
+
+
+def test_module_entry_point():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "list"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0
+    assert "e01" in result.stdout
+
+
+def test_experiment_registry_modules_importable():
+    import importlib
+
+    for module_name, fn_name, _, _ in EXPERIMENTS.values():
+        module = importlib.import_module(f"repro.experiments.{module_name}")
+        assert callable(getattr(module, fn_name))

@@ -1,0 +1,76 @@
+"""Property tests for ECMP routing: conservation and symmetry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import FatTree, VL2
+from repro.topology.routing import ecmp_link_loads, ecmp_paths
+
+
+def hosts_of(topo):
+    return sorted(h.name for h in topo.hosts)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    k=st.sampled_from([2, 4]),
+    pairs=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15), st.floats(0.1, 5.0)),
+        min_size=1,
+        max_size=6,
+    ),
+)
+def test_ecmp_conserves_demand_at_host_links(k, pairs):
+    ft = FatTree(k=k)
+    hosts = hosts_of(ft)
+    demands = {}
+    for src_i, dst_i, rate in pairs:
+        src = hosts[src_i % len(hosts)]
+        dst = hosts[dst_i % len(hosts)]
+        if src == dst:
+            continue
+        demands[(src, dst)] = demands.get((src, dst), 0.0) + rate
+    loads = ecmp_link_loads(ft, demands)
+    # Each host's attachment link carries exactly the traffic it sources
+    # plus what it sinks.
+    for host in hosts:
+        expected = sum(
+            r for (s, d), r in demands.items() if s == host or d == host
+        )
+        edge = next(iter(ft.neighbors(host)))
+        key = tuple(sorted((host, edge)))
+        assert loads.get(key, 0.0) == pytest.approx(expected)
+
+
+@settings(max_examples=15, deadline=None)
+@given(k=st.sampled_from([2, 4, 6]))
+def test_ecmp_path_count_symmetric(k):
+    ft = FatTree(k=k)
+    hosts = hosts_of(ft)
+    a, b = hosts[0], hosts[-1]
+    forward = ecmp_paths(ft, a, b)
+    backward = ecmp_paths(ft, b, a)
+    assert len(forward) == len(backward)
+    # all ECMP paths have equal (shortest) length
+    assert len({len(p) for p in forward}) == 1
+
+
+def test_ecmp_total_link_load_scales_with_path_length():
+    ft = FatTree(k=4)
+    demands = {("host-0-0-0", "host-3-1-1"): 1.0}
+    loads = ecmp_link_loads(ft, demands)
+    # a 6-hop route carries 1.0 across each of 6 "levels" of links
+    assert sum(loads.values()) == pytest.approx(6.0)
+
+
+def test_ecmp_on_vl2_spreads_over_intermediates():
+    v = VL2(da=4, di=4, servers_per_tor=2)
+    demands = {("host-0-0", "host-3-1"): 2.0}
+    loads = ecmp_link_loads(v, demands)
+    int_links = {
+        k: l for k, l in loads.items() if k[0].startswith("int") or k[1].startswith("int")
+    }
+    assert len(int_links) >= 2  # valiant spread over both intermediates
+    assert sum(int_links.values()) == pytest.approx(2.0 * 2)  # up + down
