@@ -7,6 +7,7 @@ Usage::
     python -m repro run e02 e12             # several
     python -m repro run all                 # the full suite (slow)
     python -m repro quickstart              # build + run a small platform
+    python -m repro faults --seed 42        # scripted failure-recovery scenario
 """
 
 from __future__ import annotations
@@ -30,6 +31,7 @@ EXPERIMENTS: dict[str, tuple[str, str, dict, str]] = {
     "e10": ("e10_two_layer", "run", {}, "single vs two-LB-layer conflict"),
     "e11": ("e11_vip_tradeoff", "run", {}, "VIPs-per-app trade-off"),
     "e12": ("e12_quality", "run", {}, "placement quality comparison"),
+    "e13": ("e13_failure_recovery", "run", {}, "fault injection + graceful recovery"),
     "a1": ("ablations", "run_pod_size", {}, "ablation: pod size"),
     "a2": ("ablations", "run_drain_ablation", {}, "ablation: K2 drain-first"),
     "a3": ("ablations", "run_damping_ablation", {}, "ablation: K1 damping"),
@@ -85,6 +87,32 @@ def cmd_quickstart(out=None) -> None:
     print(f"invariants hold: {dc.invariants_ok()}", file=out)
 
 
+def cmd_faults(
+    seed: int,
+    duration_s: float,
+    serialized: bool,
+    fail_link: bool,
+    out=None,
+) -> int:
+    """Run the scripted failure-recovery scenario and print its report."""
+    out = out if out is not None else sys.stdout
+    from repro.experiments.e13_failure_recovery import run as run_e13
+
+    try:
+        result = run_e13(
+            seed=seed,
+            duration_s=duration_s,
+            serialized_reconfig=serialized,
+            fail_link=fail_link,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(file=out)
+    print(result.table().render(), file=out)
+    return 0 if result.recovered else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -99,6 +127,23 @@ def main(argv: list[str] | None = None) -> int:
         help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'",
     )
     sub.add_parser("quickstart", help="build and run a small platform")
+    faults_p = sub.add_parser(
+        "faults", help="run the scripted failure-recovery scenario"
+    )
+    faults_p.add_argument("--seed", type=int, default=42, help="scenario seed")
+    faults_p.add_argument(
+        "--duration", type=float, default=3600.0, help="simulated seconds"
+    )
+    faults_p.add_argument(
+        "--serialized",
+        action="store_true",
+        help="route recovery through the serialized VIP/RIP manager",
+    )
+    faults_p.add_argument(
+        "--fail-link",
+        action="store_true",
+        help="also fail one access link (exercises the K1 re-steer)",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -107,6 +152,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "quickstart":
         cmd_quickstart()
         return 0
+    if args.command == "faults":
+        return cmd_faults(
+            args.seed, args.duration, args.serialized, args.fail_link
+        )
     ids = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     unknown = [e for e in ids if e not in EXPERIMENTS]
     if unknown:

@@ -53,6 +53,16 @@ class PlatformConfig:
     #: Max seconds K2 waits for a drain before giving up.
     drain_timeout_s: float = 600.0
 
+    # -- fault handling -------------------------------------------------------------
+    #: Time between a component dying and the management stack noticing
+    #: (health-check interval); every recovery flow starts after this.
+    fault_detection_s: float = 10.0
+    #: Total time budget for re-homing one VIP off a failed switch before
+    #: giving up (bounds the serialized queue's exposure to flapping).
+    fault_rehome_timeout_s: float = 120.0
+    #: Initial retry backoff of a failed re-home attempt (doubles per try).
+    fault_rehome_backoff_s: float = 2.0
+
     # -- epochs -------------------------------------------------------------------
     epoch_s: float = 60.0
 
@@ -75,5 +85,7 @@ class PlatformConfig:
             raise ValueError("donor_threshold must be below overload_threshold")
         if self.epoch_s <= 0:
             raise ValueError("epoch_s must be positive")
+        if self.fault_detection_s < 0 or self.fault_rehome_timeout_s <= 0:
+            raise ValueError("fault timing parameters out of range")
         if self.mean_vips_per_app < 1:
             raise ValueError("mean_vips_per_app must be >= 1")

@@ -46,6 +46,7 @@ from repro.lbswitch.switch import LBSwitch
 from repro.network.bgp import BGPAnnouncer
 from repro.network.links import InternetSide
 from repro.sim.core import Environment
+from repro.sim.events import Event
 from repro.sim.monitor import TimeSeries
 from repro.core.sizing import switches_needed
 from repro.core.viprip import VipRipManager, VipRipRequest
@@ -179,6 +180,9 @@ class MegaDataCenter:
                     v: self.state.vips[v].switch
                     for v in self.state.app_vips.get(app, [])
                 },
+                on_vip_moved=self._on_vip_rehomed,
+                rehome_timeout_s=self.config.fault_rehome_timeout_s,
+                rehome_backoff_s=self.config.fault_rehome_backoff_s,
             )
         # RIPs whose wiring request is queued but not applied yet; maps
         # rip -> VM (dropped if the VM stops before the request lands).
@@ -220,6 +224,16 @@ class MegaDataCenter:
         self.switch_imbalance = TimeSeries(self.env, "switch-imbalance")
         self.reports_history: list[list[PodReport]] = []
         self.epochs = 0
+
+        # --- fault handling --------------------------------------------------------------
+        # Crashed servers parked for repair: name -> (home pod, server).
+        self._crashed_servers: dict[str, tuple[str, PhysicalServer]] = {}
+        #: Re-home attempts that had to be retried (instant mode; the
+        #: serialized path counts its own in ``viprip.retries``).
+        self.rehome_retries = 0
+        #: Optional :class:`repro.faults.RecoveryMonitor` fed by the epoch
+        #: loop (dropped demand) — set by a ``FaultInjector``.
+        self.recovery_monitor = None
 
     # ------------------------------------------------------------------ build
     def _assign_vips(self) -> None:
@@ -298,12 +312,14 @@ class MegaDataCenter:
             )
             done.callbacks.append(lambda ev, vm=vm: self._on_wired(vm, ev))
             return
-        # Only VIPs currently on their switch count (a VIP is briefly off
-        # both switches mid-K2-transfer).
+        # Only VIPs currently on a healthy switch count (a VIP is briefly
+        # off both switches mid-K2-transfer; a failed switch takes no new
+        # RIPs).
         vips = [
             v
             for v in self.state.app_vips.get(vm.app, [])
-            if self.state.switch_of_vip(v).has_vip(v)
+            if self.state.switch_is_up(self.state.vips[v].switch)
+            and self.state.switch_of_vip(v).has_vip(v)
         ]
         if not vips:
             return
@@ -400,17 +416,13 @@ class MegaDataCenter:
         return self.topology.locate(rip)
 
     def _ensure_exposure(self, app: str) -> None:
-        """Never answer DNS with a VIP that has no serving RIP."""
+        """Never answer DNS with a VIP that cannot serve — no RIPs, a
+        failed switch, or a dead access link (the K1 re-steer)."""
         vips = self.state.app_vips.get(app, [])
         if not vips:
             return
         current = self.authority.weights(app)
-        serving = {
-            v
-            for v in vips
-            if self.state.switch_of_vip(v).has_vip(v)
-            and self.state.switch_of_vip(v).entry(v).rips
-        }
+        serving = {v for v in vips if self.state.vip_serving(v)}
         if not serving:
             return  # app fully down; keep old zone rather than crash
         # Respect deliberate weight-0 drains (K1/K2) on serving VIPs; only
@@ -432,6 +444,191 @@ class MegaDataCenter:
             self._auto_drained -= serving
         if weights != current:
             self.authority.configure(app, weights)
+
+    # ----------------------------------------------------------- fault control
+    # Every handler returns an Event that succeeds once the platform's
+    # *degradation response* is complete (demand re-placed, VIPs re-homed,
+    # DNS re-steered) — not when the hardware comes back.  The fault
+    # injector waits on these to measure MTTR.
+
+    def crash_server(self, name: str) -> Event:
+        """A physical server dies: its VMs are lost on the spot; after the
+        detection delay the owning pod manager re-places the displaced
+        demand, spilling to the global manager (K3) if the pod is short."""
+        done = Event(self.env)
+        server = self.state.servers.get(name)
+        if server is None or server.pod is None or name in self._crashed_servers:
+            done.succeed()
+            return done
+        manager = self.pod_managers[server.pod]
+        home_pod = server.pod
+        manager.crash_server(server)
+        self._crashed_servers[name] = (home_pod, server)
+        self.env.process(self._recover_server_crash(manager, done))
+        return done
+
+    def _recover_server_crash(self, manager: PodManager, done: Event):
+        yield self.env.timeout(self.config.fault_detection_s)
+        report = manager.replace_lost(self.specs, t=self.env.now)
+        if (
+            report is not None
+            and report.overloaded
+            and self.global_manager is not None
+        ):
+            # In-pod re-placement came up short: pull servers (K3).
+            transfer = self.global_manager.relieve_capacity_loss(manager, report)
+            if transfer is not None:
+                yield transfer
+                manager.replace_lost(self.specs, t=self.env.now)
+        done.succeed()
+
+    def recover_server(self, name: str) -> Event:
+        """A crashed server comes back (empty) and rejoins its home pod —
+        or whichever pod has room if the home pod filled up meanwhile."""
+        done = Event(self.env)
+        parked = self._crashed_servers.pop(name, None)
+        if parked is None:
+            done.succeed()
+            return done
+        home_pod, server = parked
+        candidates = [home_pod] + [p for p in sorted(self.pod_managers) if p != home_pod]
+        for pod_name in candidates:
+            pod = self.pod_managers[pod_name].pod
+            if pod.n_servers < pod.max_servers:
+                pod.add_server(server)
+                break
+        done.succeed()
+        return done
+
+    def fail_switch(self, name: str) -> Event:
+        """An LB switch dies: its VIPs black-hole until each is re-homed
+        to a healthy switch via the K2 transfer path (with retry,
+        exponential backoff and a bounded per-VIP timeout)."""
+        done = Event(self.env)
+        if name not in self.switches or name in self.state.failed_switches:
+            done.succeed()
+            return done
+        self.state.failed_switches.add(name)
+        if self.viprip is not None:
+            self.viprip.mark_failed(name)
+        self.env.process(self._rehome_failed_switch(name, done))
+        return done
+
+    def _rehome_failed_switch(self, name: str, done: Event):
+        yield self.env.timeout(self.config.fault_detection_s)
+        victim = self.switches[name]
+        # K1 first: stop answering DNS with the dead VIPs while they move.
+        for app in sorted({self.state.vips[v].app for v in victim.vips()}):
+            self._ensure_exposure(app)
+        for vip in list(victim.vips()):
+            if name not in self.state.failed_switches:
+                break  # switch recovered first; survivors serve in place
+            if not victim.has_vip(vip):
+                continue  # deleted while we worked through the list
+            app = self.state.vips[vip].app
+            if self.viprip is not None:
+                yield self.viprip.submit(
+                    VipRipRequest("move_vip", app, vip=vip, switch=name, priority=0)
+                )
+            else:
+                yield from self._rehome_vip(vip, name)
+        done.succeed()
+
+    def _rehome_vip(self, vip: str, src_name: str):
+        """Instant-mode re-home of one VIP with the same retry discipline
+        as the serialized path (backoff doubling, bounded total time)."""
+        src = self.switches[src_name]
+        deadline = self.env.now + self.config.fault_rehome_timeout_s
+        backoff = self.config.fault_rehome_backoff_s
+        while src.has_vip(vip):
+            candidates = [
+                s
+                for s in self.switches.values()
+                if s.name != src_name
+                and self.state.switch_is_up(s.name)
+                and s.vip_slots_free > 0
+                and s.rip_slots_free >= len(src.entry(vip).rips)
+            ]
+            if candidates:
+                target = min(candidates, key=lambda s: (s.utilization, s.name))
+                yield self.env.timeout(self.config.switch_reconfig_s)
+                # The target may have failed while we reconfigured (flap).
+                if (
+                    self.state.switch_is_up(target.name)
+                    and target.vip_slots_free > 0
+                    and src.has_vip(vip)
+                ):
+                    entry = src.remove_vip(vip)
+                    target.install_entry(entry)
+                    self._on_vip_rehomed(vip, target.name)
+                    return True
+            self.rehome_retries += 1
+            if self.env.now + backoff > deadline:
+                return False
+            yield self.env.timeout(backoff)
+            backoff *= 2.0
+        return False
+
+    def _on_vip_rehomed(self, vip: str, switch_name: str) -> None:
+        """Post-move bookkeeping shared by the instant and serialized
+        re-home paths: registry, reconfig count, DNS exposure."""
+        self.state.move_vip(vip, switch_name)
+        self.state.reconfigurations += 1
+        self._ensure_exposure(self.state.vips[vip].app)
+
+    def recover_switch(self, name: str) -> Event:
+        """A failed switch comes back; VIPs that were never re-homed are
+        still in its table and serve again immediately."""
+        done = Event(self.env)
+        if name not in self.state.failed_switches:
+            done.succeed()
+            return done
+        self.state.failed_switches.discard(name)
+        if self.viprip is not None:
+            self.viprip.mark_recovered(name)
+        for vip in self.switches[name].vips():
+            self._ensure_exposure(self.state.vips[vip].app)
+        done.succeed()
+        return done
+
+    def fail_link(self, name: str) -> Event:
+        """An access link goes dark: after detection, selective exposure
+        (K1) steers DNS demand away from the dead access router."""
+        done = Event(self.env)
+        link = self.internet.links.get(name)
+        if link is None or not link.is_up:
+            done.succeed()
+            return done
+        link.fail()
+        self.env.process(self._resteer_failed_link(name, done))
+        return done
+
+    def _resteer_failed_link(self, name: str, done: Event):
+        yield self.env.timeout(self.config.fault_detection_s)
+        apps = sorted(
+            {info.app for info in self.state.vips.values() if info.link == name}
+        )
+        for app in apps:
+            self._ensure_exposure(app)
+        done.succeed()
+
+    def recover_link(self, name: str) -> Event:
+        done = Event(self.env)
+        link = self.internet.links.get(name)
+        if link is not None and not link.is_up:
+            link.restore()
+            for app in sorted(
+                {info.app for info in self.state.vips.values() if info.link == name}
+            ):
+                self._ensure_exposure(app)
+        done.succeed()
+        return done
+
+    @property
+    def reconfig_retries(self) -> int:
+        """Re-home attempts retried across both reconfiguration modes."""
+        extra = self.viprip.retries if self.viprip is not None else 0
+        return self.rehome_retries + extra
 
     # ------------------------------------------------------------------- run
     def run(self, duration_s: float) -> None:
@@ -470,8 +667,18 @@ class MegaDataCenter:
                     continue
                 vip_traffic[vip] = traffic
                 info = self.state.vips[vip]
+                if not self.internet.link(info.link).is_up:
+                    # Dead access link: demand is lost until the DNS
+                    # re-steer (K1) moves the laggards away.
+                    blackholed += traffic
+                    continue
                 link_loads[info.link] += traffic
                 switch = self.switches[info.switch]
+                if info.switch in self.state.failed_switches:
+                    # Dead switch: traffic reaches the border router and
+                    # dies there until the VIP is re-homed (K2).
+                    blackholed += traffic
+                    continue
                 if not switch.has_vip(vip):
                     # Mid-transfer: residual laggard traffic is lost.
                     blackholed += traffic
@@ -489,9 +696,12 @@ class MegaDataCenter:
                     pod_demand[pod][app_id] += traffic * w / spec.gbps_per_cpu
 
         for name, load in link_loads.items():
-            self.internet.link(name).set_load(load)
+            if self.internet.link(name).is_up:
+                self.internet.link(name).set_load(load)
         self.state.vip_traffic = vip_traffic
         self.state.blackholed_gbps = blackholed
+        if self.recovery_monitor is not None:
+            self.recovery_monitor.note_dropped(blackholed, self.config.epoch_s)
 
         reports = []
         for name in sorted(self.pod_managers):

@@ -144,12 +144,10 @@ class GlobalManager:
             vip_links = self.state.vip_links_of(app)
             if len(set(i.name for i in vip_links.values())) < 2:
                 continue  # nowhere to steer
-            # Only expose VIPs whose switch group actually has RIPs.
+            # Only expose VIPs that can actually serve (switch up, link
+            # up, RIPs present).
             serving = {
-                v: l
-                for v, l in vip_links.items()
-                if self.state.switch_of_vip(v).has_vip(v)
-                and self.state.switch_of_vip(v).entry(v).rips
+                v: l for v, l in vip_links.items() if self.state.vip_serving(v)
             }
             if len(serving) >= 2:
                 self.exposure.rebalance_app(app, serving)
@@ -158,6 +156,8 @@ class GlobalManager:
     def _balance_switches(self) -> None:
         switches = sorted(self.state.switches.values(), key=lambda s: s.name)
         for sw in switches:
+            if not self.state.switch_is_up(sw.name):
+                continue
             if sw.utilization <= self.config.overload_threshold:
                 continue
             if self.env.now - self._last_k2.get(sw.name, -1e18) < self.k2_cooldown_s:
@@ -216,7 +216,9 @@ class GlobalManager:
         candidates = [
             s
             for s in self.state.switches.values()
-            if s.name != exclude and s.vip_slots_free > 0
+            if s.name != exclude
+            and s.vip_slots_free > 0
+            and self.state.switch_is_up(s.name)
         ]
         if not candidates:
             return None
@@ -325,15 +327,26 @@ class GlobalManager:
 
     def _relieve_with_servers(self, manager: PodManager, report: PodReport) -> None:
         """K3: pull servers from a donor pod."""
+        self.relieve_capacity_loss(manager, report)
+
+    def relieve_capacity_loss(self, manager: PodManager, report: PodReport):
+        """Start a K3 server transfer covering *report*'s deficit.
+
+        Also the spill path after a server crash: when in-pod re-placement
+        leaves demand unsatisfied, the facade calls this directly instead
+        of waiting for the next epoch's overload streak.  Returns the
+        transfer :class:`~repro.sim.process.Process` (or ``None`` when no
+        pod can donate) so recovery flows can wait on its completion.
+        """
         donor = self.server_transfer.pick_donor(
             list(self.pod_managers.values()), exclude=[manager.pod.name]
         )
         if donor is None:
-            return
+            return None
         deficit_cpu = max(0.0, report.demand_cpu - report.satisfied_cpu)
         n = max(1, math.ceil(deficit_cpu / max(self.config.server_cpu, 1e-9)))
         self._pods_in_action.add(manager.pod.name)
-        self.env.process(self._do_server_transfer(donor, manager, n))
+        return self.env.process(self._do_server_transfer(donor, manager, n))
 
     def _do_server_transfer(self, donor: PodManager, recipient: PodManager, n: int):
         try:

@@ -73,6 +73,10 @@ class PodManager:
         self.migration_stats = MigrationStats()
         self.epochs_run = 0
         self.last_report: Optional[PodReport] = None
+        self.server_crashes = 0
+        # Last epoch's inputs, kept so a crash can re-run placement for
+        # the displaced demand without waiting for the next control epoch.
+        self._last_assigned: Optional[dict[str, float]] = None
 
     # -- epoch ------------------------------------------------------------
     def run_epoch(
@@ -100,6 +104,7 @@ class PodManager:
         solution = self.controller.solve(problem)
         changes = self._apply(servers, apps, problem, solution, specs)
         self.epochs_run += 1
+        self._last_assigned = dict(assigned_cpu)
         report = PodReport(
             pod=self.pod.name,
             t=t,
@@ -188,6 +193,44 @@ class PodManager:
             for vm, new_slice in resizes:
                 server.resize(vm.vm_id, new_slice)
         return changes
+
+    # -- fault handling ---------------------------------------------------
+    def crash_server(self, server: PhysicalServer) -> list[VM]:
+        """A server died: its VMs are gone, the server leaves the pod.
+
+        Every resident VM is marked dead and unwired (its RIP leaves the
+        LB tables via ``on_stop``), so no switch keeps balancing traffic
+        to a corpse.  Returns the victims; call :meth:`replace_lost` after
+        the failure is detected to re-place their demand in the pod.
+        """
+        if server.pod != self.pod.name:
+            raise KeyError(f"{server.name} not in pod {self.pod.name}")
+        victims: list[VM] = []
+        for vm in list(server.vms):
+            server.detach(vm.vm_id)
+            vm.state = VMState.STOPPED
+            if vm.rip is not None:
+                self.rip_pool.release(vm.rip)
+            if self.on_stop:
+                self.on_stop(vm)
+            victims.append(vm)
+        self.pod.remove_server(server.name)
+        self.server_crashes += 1
+        return victims
+
+    def replace_lost(
+        self, specs: Mapping[str, AppSpec], t: float = 0.0
+    ) -> Optional[PodReport]:
+        """Re-run placement for the last assigned demand on the surviving
+        servers (the in-pod recovery path after a crash).
+
+        Returns the fresh report, or ``None`` when no epoch has run yet.
+        The caller escalates to the global manager (K3 server transfer)
+        when the report still shows unsatisfied demand.
+        """
+        if self._last_assigned is None or not self.pod.servers:
+            return None
+        return self.run_epoch(self._last_assigned, specs, t=t)
 
     # -- K3 support: vacating servers -----------------------------------------
     def vacate(self, n: int) -> list[PhysicalServer]:

@@ -49,6 +49,9 @@ class PlatformState:
         #: Traffic addressed to VIPs with no serving RIP (lost).
         self.blackholed_gbps: float = 0.0
         self.reconfigurations = 0
+        #: LB switches currently failed (fault injection); traffic to their
+        #: VIPs is dropped and every manager must route around them.
+        self.failed_switches: set[str] = set()
 
     # -- registration --------------------------------------------------------
     def register_server(self, server: PhysicalServer) -> None:
@@ -78,6 +81,24 @@ class PlatformState:
     # -- queries ---------------------------------------------------------------
     def switch_of_vip(self, vip: str) -> LBSwitch:
         return self.switches[self.vips[vip].switch]
+
+    def switch_is_up(self, name: str) -> bool:
+        return name not in self.failed_switches
+
+    def vip_serving(self, vip: str) -> bool:
+        """Can this VIP actually deliver traffic right now?
+
+        False while its switch is failed or mid-K2-transfer, its access
+        link is down, or its load-balancing group has no RIPs.
+        """
+        info = self.vips[vip]
+        if info.switch in self.failed_switches:
+            return False
+        link = self.internet.links.get(info.link)
+        if link is not None and not link.is_up:
+            return False
+        switch = self.switches[info.switch]
+        return switch.has_vip(vip) and bool(switch.entry(vip).rips)
 
     def link_of_vip(self, vip: str) -> AccessLink:
         return self.internet.link(self.vips[vip].link)

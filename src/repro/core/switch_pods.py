@@ -13,7 +13,7 @@ charge realistic service times.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import AbstractSet, Optional, Sequence
 
 from repro.lbswitch.switch import LBSwitch
 
@@ -45,19 +45,29 @@ class FlatSwitchManager:
         self.switches = list(switches)
         self.scan_cost_s = scan_cost_s
 
-    def select_for_vip(self) -> Selection:
-        candidates = [s for s in self.switches if s.vip_slots_free > 0]
+    def select_for_vip(self, exclude: AbstractSet[str] = frozenset()) -> Selection:
+        candidates = [
+            s
+            for s in self.switches
+            if s.vip_slots_free > 0 and s.name not in exclude
+        ]
         scanned = len(self.switches)
         cost = scanned * self.scan_cost_s
         if not candidates:
             return Selection(None, cost, scanned)
         return Selection(min(candidates, key=_vip_score), cost, scanned)
 
-    def select_for_rip(self, hosting: Sequence[LBSwitch]) -> Selection:
+    def select_for_rip(
+        self,
+        hosting: Sequence[LBSwitch],
+        exclude: AbstractSet[str] = frozenset(),
+    ) -> Selection:
         """Pick among the switches already hosting one of the app's VIPs."""
         scanned = len(self.switches)
         cost = scanned * self.scan_cost_s
-        candidates = [s for s in hosting if s.rip_slots_free > 0]
+        candidates = [
+            s for s in hosting if s.rip_slots_free > 0 and s.name not in exclude
+        ]
         if not candidates:
             return Selection(None, cost, scanned)
         return Selection(min(candidates, key=_rip_score), cost, scanned)
@@ -90,22 +100,35 @@ class SwitchPodManager:
     def _pod_vip_headroom(self, pod: list[LBSwitch]) -> int:
         return sum(s.vip_slots_free for s in pod)
 
-    def select_for_vip(self) -> Selection:
+    def _pod_vip_headroom_healthy(
+        self, pod: list[LBSwitch], exclude: AbstractSet[str]
+    ) -> int:
+        return sum(s.vip_slots_free for s in pod if s.name not in exclude)
+
+    def select_for_vip(self, exclude: AbstractSet[str] = frozenset()) -> Selection:
         # Top level: O(P) using per-pod aggregates only.
         scanned = self.n_pods
-        best_pod = max(self.pods, key=self._pod_vip_headroom)
-        if self._pod_vip_headroom(best_pod) == 0:
+        best_pod = max(
+            self.pods, key=lambda p: self._pod_vip_headroom_healthy(p, exclude)
+        )
+        if self._pod_vip_headroom_healthy(best_pod, exclude) == 0:
             return Selection(None, scanned * self.scan_cost_s, scanned)
         # Pod level: O(L/P).
         scanned += len(best_pod)
-        candidates = [s for s in best_pod if s.vip_slots_free > 0]
+        candidates = [
+            s for s in best_pod if s.vip_slots_free > 0 and s.name not in exclude
+        ]
         return Selection(
             min(candidates, key=_vip_score),
             scanned * self.scan_cost_s,
             scanned,
         )
 
-    def select_for_rip(self, hosting: Sequence[LBSwitch]) -> Selection:
+    def select_for_rip(
+        self,
+        hosting: Sequence[LBSwitch],
+        exclude: AbstractSet[str] = frozenset(),
+    ) -> Selection:
         """RIPs must go to a switch hosting the app's VIP; only the pods
         containing those switches are consulted."""
         hosting_set = set(id(s) for s in hosting)
@@ -115,7 +138,11 @@ class SwitchPodManager:
             if any(id(s) in hosting_set for s in pod):
                 scanned += len(pod)
                 candidates.extend(
-                    s for s in pod if id(s) in hosting_set and s.rip_slots_free > 0
+                    s
+                    for s in pod
+                    if id(s) in hosting_set
+                    and s.rip_slots_free > 0
+                    and s.name not in exclude
                 )
         if not candidates:
             return Selection(None, scanned * self.scan_cost_s, scanned)

@@ -34,7 +34,22 @@ class VipRipRequest:
     """One configuration request.
 
     ``kind`` is one of ``new_vip``, ``new_rip``, ``del_vip``, ``del_rip``,
-    ``set_weight``.  Lower ``priority`` runs earlier.
+    ``set_weight``, ``move_vip``.  Lower ``priority`` runs earlier.
+
+    Field combinations are validated at construction so a malformed
+    request fails at submission, not deep inside the serialized
+    processor:
+
+    ========== ============== ===============================
+    kind       requires       must be unset
+    ========== ============== ===============================
+    new_vip    —              vip, rip
+    new_rip    rip, weight>0  vip
+    del_vip    vip            rip
+    del_rip    rip            vip
+    set_weight rip, weight>=0 vip
+    move_vip   vip            rip  (``switch`` names the source)
+    ========== ============== ===============================
     """
 
     kind: str
@@ -43,14 +58,32 @@ class VipRipRequest:
     vip: Optional[str] = None
     rip: Optional[str] = None
     weight: float = 1.0
+    #: Source switch of a ``move_vip`` (defaults to the registry's view).
+    switch: Optional[str] = None
     done: Optional[Event] = field(default=None, repr=False)
     result: Any = None
 
-    _KINDS = ("new_vip", "new_rip", "del_vip", "del_rip", "set_weight")
+    _KINDS = ("new_vip", "new_rip", "del_vip", "del_rip", "set_weight", "move_vip")
+    _NEEDS_VIP = ("del_vip", "move_vip")
+    _NEEDS_RIP = ("new_rip", "del_rip", "set_weight")
 
     def __post_init__(self):
         if self.kind not in self._KINDS:
             raise ValueError(f"unknown request kind {self.kind!r}")
+        if self.kind in self._NEEDS_VIP and self.vip is None:
+            raise ValueError(f"{self.kind} request for {self.app!r} needs a vip")
+        if self.kind in self._NEEDS_RIP and self.rip is None:
+            raise ValueError(f"{self.kind} request for {self.app!r} needs a rip")
+        if self.kind not in self._NEEDS_VIP and self.vip is not None:
+            raise ValueError(f"{self.kind} request must not carry a vip")
+        if self.kind not in self._NEEDS_RIP and self.rip is not None:
+            raise ValueError(f"{self.kind} request must not carry a rip")
+        if self.kind == "new_rip" and self.weight <= 0:
+            raise ValueError("new_rip weight must be positive")
+        if self.kind == "set_weight" and self.weight < 0:
+            raise ValueError("set_weight weight must be non-negative")
+        if self.kind != "move_vip" and self.switch is not None:
+            raise ValueError("only move_vip requests may name a source switch")
 
 
 class VipRipManager:
@@ -64,6 +97,9 @@ class VipRipManager:
         selector=None,
         reconfig_s: float = 3.0,
         hosting_lookup=None,
+        on_vip_moved=None,
+        rehome_timeout_s: float = 120.0,
+        rehome_backoff_s: float = 2.0,
     ):
         self.env = env
         self.switches = {s.name: s for s in switches}
@@ -74,12 +110,23 @@ class VipRipManager:
         #: internal registry for RIP placement — used when an external
         #: component (the datacenter facade) owns VIP placement.
         self.hosting_lookup = hosting_lookup
+        #: Optional callable ``(vip, new_switch_name)`` invoked after a
+        #: successful move_vip so external registries stay consistent.
+        self.on_vip_moved = on_vip_moved
+        #: Total time budget of one move_vip request; past it the request
+        #: is rejected so a flapping switch cannot wedge the serial queue.
+        self.rehome_timeout_s = rehome_timeout_s
+        #: Initial retry backoff of a failed move_vip attempt (doubles).
+        self.rehome_backoff_s = rehome_backoff_s
+        #: Switches currently failed; never selected as targets.
+        self.failed: set[str] = set()
         # app -> {vip -> switch name}
         self.registry: dict[str, dict[str, str]] = {}
         # rip -> (vip, switch name)
         self.rip_index: dict[str, tuple[str, str]] = {}
         self.processed = 0
         self.rejected = 0
+        self.retries = 0
         self.busy_s = 0.0
         self._heap: list[tuple[int, int, VipRipRequest]] = []
         self._seq = count()
@@ -106,6 +153,15 @@ class VipRipManager:
         """app's VIPs -> hosting switch name."""
         return dict(self.registry.get(app, {}))
 
+    # -- fault awareness ----------------------------------------------------
+    def mark_failed(self, switch_name: str) -> None:
+        """Exclude a switch from every selection until it recovers."""
+        if switch_name in self.switches:
+            self.failed.add(switch_name)
+
+    def mark_recovered(self, switch_name: str) -> None:
+        self.failed.discard(switch_name)
+
     # -- processor -------------------------------------------------------------
     def _run(self):
         while True:
@@ -129,7 +185,7 @@ class VipRipManager:
             yield self.env.timeout(selection.cost_s)
 
     def _do_new_vip(self, req: VipRipRequest):
-        selection = self.selector.select_for_vip()
+        selection = self.selector.select_for_vip(exclude=self.failed)
         yield from self._charge(selection)
         if selection.switch is None:
             self.rejected += 1
@@ -151,9 +207,9 @@ class VipRipManager:
         hosting = [
             s
             for s in (self.switches[name] for name in vip_map.values())
-            if s.vips_of_app(req.app)
+            if s.vips_of_app(req.app) and s.name not in self.failed
         ]
-        selection = self.selector.select_for_rip(hosting)
+        selection = self.selector.select_for_rip(hosting, exclude=self.failed)
         yield from self._charge(selection)
         if selection.switch is None or req.rip is None:
             self.rejected += 1
@@ -200,3 +256,63 @@ class VipRipManager:
         yield self.env.timeout(self.reconfig_s)
         self.switches[switch_name].set_rip_weight(vip, req.rip, req.weight)
         req.result = (vip, switch_name)
+
+    def _do_move_vip(self, req: VipRipRequest):
+        """Re-home one VIP onto a healthy switch (K2 transfer path used as
+        a recovery mechanism).
+
+        Each attempt picks the best healthy target and pays one
+        reconfiguration; an attempt that lands on a switch that failed
+        meanwhile (flapping) is retried with exponential backoff, and the
+        whole request is bounded by :attr:`rehome_timeout_s` so a fault
+        storm cannot wedge the serialized queue behind one hopeless move.
+        """
+        vip = req.vip
+        src_name = req.switch
+        if src_name is None:
+            src_name = self.registry.get(req.app, {}).get(vip)
+        src = self.switches.get(src_name) if src_name is not None else None
+        if src is None or not src.has_vip(vip):
+            self.rejected += 1
+            req.result = None
+            return
+        deadline = self.env.now + self.rehome_timeout_s
+        backoff = self.rehome_backoff_s
+        while True:
+            selection = self.selector.select_for_vip(
+                exclude=self.failed | {src.name}
+            )
+            yield from self._charge(selection)
+            target = selection.switch
+            if target is not None:
+                yield self.env.timeout(self.reconfig_s)
+                # The target may have failed while we were reconfiguring.
+                if (
+                    target.name not in self.failed
+                    and target.vip_slots_free > 0
+                    and target.rip_slots_free >= len(src.entry(vip).rips)
+                    and src.has_vip(vip)
+                ):
+                    entry = src.remove_vip(vip)
+                    target.install_entry(entry)
+                    if vip in self.registry.get(req.app, {}):
+                        self.registry[req.app][vip] = target.name
+                    for rip in entry.rips:
+                        if rip in self.rip_index:
+                            self.rip_index[rip] = (vip, target.name)
+                    if self.on_vip_moved is not None:
+                        self.on_vip_moved(vip, target.name)
+                    req.result = target.name
+                    return
+            if not src.has_vip(vip):
+                # Deleted (or moved by someone else) while we retried.
+                self.rejected += 1
+                req.result = None
+                return
+            self.retries += 1
+            if self.env.now + backoff > deadline:
+                self.rejected += 1
+                req.result = None
+                return
+            yield self.env.timeout(backoff)
+            backoff *= 2.0

@@ -1,0 +1,180 @@
+"""E13 — failure recovery under the paper's knobs.
+
+The scripted acceptance scenario: during steady load, one LB switch dies
+and two servers (in different pods) crash; everything is repaired ten
+minutes later.  The management stack must degrade gracefully using the
+same knobs it uses for load management:
+
+* switch failure -> K2 VIP transfer re-homes every victim VIP onto
+  healthy switches (with retry/backoff), K1 keeps DNS honest meanwhile;
+* server crash -> the pod manager re-places the displaced demand
+  in-pod, spilling to a K3 server transfer when the pod is short;
+* (optionally, with ``fail_link=True``) an access-link failure ->
+  K1 selective exposure steers clients away from the dead router.
+
+We report MTTR per fault class (time from injection to the completed
+degradation response), demand dropped while traffic black-holed, and the
+reconfiguration retries spent — and we assert the recovery end-state:
+no VIP left homed on a failed switch mid-outage, no serving RIP on a
+crashed server, platform invariants intact at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.reporting import Table
+from repro.core.config import PlatformConfig
+from repro.core.datacenter import MegaDataCenter
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultSchedule,
+    RecoveryMonitor,
+)
+from repro.sim.rng import RngHub
+from repro.workload.generator import WorkloadBuilder
+
+#: Shortest run that contains the whole scripted scenario: last repair at
+#: t=960 plus one epoch of post-repair settling.
+MIN_DURATION_S = 1020.0
+
+
+@dataclass
+class E13Result:
+    monitor: RecoveryMonitor
+    schedule: FaultSchedule
+    failed_switch: str
+    crashed_servers: list[str]
+    #: VIPs still homed on a failed switch at the mid-outage checkpoint.
+    vips_on_failed_mid: int
+    #: Serving RIPs resident on a crashed server at the checkpoint.
+    rips_on_crashed_mid: int
+    satisfied_mid: float
+    satisfied_end: float
+    reconfig_retries: int
+    invariants_ok: bool
+    mttr_by_class: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def recovered(self) -> bool:
+        """The acceptance predicate for the scripted scenario."""
+        return (
+            self.vips_on_failed_mid == 0
+            and self.rips_on_crashed_mid == 0
+            and self.invariants_ok
+            and all(m > 0 for m in self.mttr_by_class.values())
+            and len(self.mttr_by_class) >= 2  # switch + server responded
+        )
+
+    def table(self) -> Table:
+        t = self.monitor.table(self.reconfig_retries)
+        t.title = "E13 — failure recovery (scripted: 1 switch + 2 servers)"
+        t.add_note(
+            f"failed switch {self.failed_switch}: "
+            f"{self.vips_on_failed_mid} VIPs still homed there mid-outage"
+        )
+        t.add_note(
+            f"crashed servers {', '.join(self.crashed_servers)}: "
+            f"{self.rips_on_crashed_mid} serving RIPs left there mid-outage"
+        )
+        t.add_note(
+            f"satisfied demand mid-outage {self.satisfied_mid:.1%}, "
+            f"after repair {self.satisfied_end:.1%}"
+        )
+        t.add_note(f"invariants hold: {self.invariants_ok}")
+        t.add_note(f"scenario recovered: {self.recovered}")
+        return t
+
+
+def run(
+    seed: int = 42,
+    duration_s: float = 3600.0,
+    serialized_reconfig: bool = False,
+    fail_link: bool = False,
+) -> E13Result:
+    """Run the scripted scenario; *seed* picks workload and crash victims."""
+    if duration_s < MIN_DURATION_S:
+        raise ValueError(
+            f"duration_s={duration_s:g} too short: the scripted scenario "
+            f"(faults at t=300..960 plus responses) needs >= {MIN_DURATION_S:g} s"
+        )
+    hub = RngHub(seed)
+    apps = WorkloadBuilder(
+        n_apps=12,
+        total_gbps=6.0,
+        diurnal_fraction=0.0,  # steady load: recovery, not demand, moves
+        rng_hub=hub.spawn("workload"),
+    ).build()
+    dc = MegaDataCenter(
+        apps,
+        config=PlatformConfig(),
+        n_pods=3,
+        servers_per_pod=8,
+        n_switches=4,
+        serialized_reconfig=serialized_reconfig,
+    )
+
+    # Victims: the switch carrying the most VIPs, and one busy server in
+    # each of two different pods (seed-dependent but deterministic).
+    switch = max(dc.switches.values(), key=lambda s: (s.num_vips, s.name)).name
+    rng = hub.stream("victims")
+    servers = []
+    for pod_name in sorted(dc.pod_managers)[:2]:
+        pod = dc.pod_managers[pod_name].pod
+        busy = sorted(s.name for s in pod.servers if s.vms)
+        pool = busy if busy else sorted(s.name for s in pod.servers)
+        servers.append(pool[int(rng.integers(0, len(pool)))])
+
+    t0, outage_s = 300.0, 600.0
+    schedule = FaultSchedule.scripted_basic(switch, servers, t0=t0, outage_s=outage_s)
+    if fail_link:
+        link = sorted(dc.internet.links)[0]
+        schedule = FaultSchedule(
+            list(schedule)
+            + [
+                # Fail between the crashes, repair with everything else.
+                FaultEvent(t0 + 45.0, FaultKind.LINK_DOWN, link),
+                FaultEvent(t0 + outage_s, FaultKind.LINK_UP, link),
+            ]
+        )
+    monitor = RecoveryMonitor()
+    injector = FaultInjector(dc, schedule, monitor)
+
+    # Mid-outage checkpoint: faults injected and responses done, repairs
+    # still in the future.
+    dc.run(t0 + outage_s - 30.0)
+    vips_on_failed_mid = sum(
+        1
+        for info in dc.state.vips.values()
+        if info.switch in dc.state.failed_switches
+    )
+    crashed = set(servers)
+    rips_on_crashed_mid = sum(
+        1 for info in dc.state.rips.values() if info.vm.host in crashed
+    )
+    satisfied_mid = dc.satisfied.current
+
+    dc.run(duration_s - dc.env.now)
+    assert injector.finished
+
+    mttr = {}
+    for cls_name in ("server", "switch", "link"):
+        tally = monitor.mttr(cls_name)
+        if tally is not None and tally.count:
+            mttr[cls_name] = tally.mean
+    return E13Result(
+        monitor=monitor,
+        schedule=schedule,
+        failed_switch=switch,
+        crashed_servers=servers,
+        vips_on_failed_mid=vips_on_failed_mid,
+        rips_on_crashed_mid=rips_on_crashed_mid,
+        satisfied_mid=satisfied_mid,
+        satisfied_end=dc.satisfied.current,
+        reconfig_retries=dc.reconfig_retries,
+        invariants_ok=dc.invariants_ok(),
+        mttr_by_class=mttr,
+    )

@@ -1,0 +1,21 @@
+"""Deterministic fault injection for the management stack.
+
+A :class:`FaultSchedule` (scripted or seeded-random) feeds a
+:class:`FaultInjector`, which drives the facade's degradation responses —
+server crash -> in-pod re-placement with K3 spill, LB-switch failure ->
+K2 VIP re-homing, access-link failure -> K1 DNS re-steer — and a
+:class:`RecoveryMonitor` collects MTTR per fault class, demand dropped
+during the blackout, and reconfiguration retries.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.metrics import RecoveryMonitor
+from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSchedule",
+    "RecoveryMonitor",
+]

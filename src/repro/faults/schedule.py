@@ -1,0 +1,184 @@
+"""Fault schedules: *what* breaks *when*.
+
+A schedule is an immutable, time-ordered list of :class:`FaultEvent`.  Two
+builders cover the interesting cases: :meth:`FaultSchedule.from_events`
+validates a scripted scenario (every recovery must follow a failure of the
+same target), and :meth:`FaultSchedule.random` samples fail/repair cycles
+from seeded per-fault-class streams so the same seed always yields the
+same schedule regardless of how many classes are enabled.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.sim.rng import RngHub
+
+
+class FaultKind(str, enum.Enum):
+    """The fault classes the injector knows how to inflict."""
+
+    SERVER_CRASH = "server_crash"
+    SERVER_RECOVER = "server_recover"
+    SWITCH_FAIL = "switch_fail"
+    SWITCH_RECOVER = "switch_recover"
+    LINK_DOWN = "link_down"
+    LINK_UP = "link_up"
+
+    @property
+    def is_failure(self) -> bool:
+        return self in (
+            FaultKind.SERVER_CRASH,
+            FaultKind.SWITCH_FAIL,
+            FaultKind.LINK_DOWN,
+        )
+
+    @property
+    def recovery(self) -> "FaultKind":
+        """The event kind that undoes this failure."""
+        return _RECOVERY_OF[self]
+
+    @property
+    def fault_class(self) -> str:
+        """Metric bucket: ``server`` / ``switch`` / ``link``."""
+        return self.value.split("_")[0]
+
+
+_RECOVERY_OF = {
+    FaultKind.SERVER_CRASH: FaultKind.SERVER_RECOVER,
+    FaultKind.SWITCH_FAIL: FaultKind.SWITCH_RECOVER,
+    FaultKind.LINK_DOWN: FaultKind.LINK_UP,
+}
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One scheduled fault or repair: *target* suffers *kind* at time *t*."""
+
+    t: float
+    kind: FaultKind
+    target: str
+
+    def __post_init__(self):
+        if self.t < 0:
+            raise ValueError(f"fault time must be non-negative, got {self.t}")
+
+
+class FaultSchedule:
+    """An ordered, validated sequence of fault events."""
+
+    def __init__(self, events: Iterable[FaultEvent]):
+        self.events: list[FaultEvent] = sorted(events)
+        self._validate()
+
+    def _validate(self) -> None:
+        """Failures and recoveries of one target must alternate: a second
+        crash of an already-down server (or a repair of a healthy one) is
+        a script bug, not a scenario."""
+        down: set[tuple[str, str]] = set()  # (fault_class, target)
+        for ev in self.events:
+            key = (ev.kind.fault_class, ev.target)
+            if ev.kind.is_failure:
+                if key in down:
+                    raise ValueError(
+                        f"{ev.target} fails at t={ev.t} but is already down"
+                    )
+                down.add(key)
+            else:
+                if key not in down:
+                    raise ValueError(
+                        f"{ev.target} recovers at t={ev.t} but never failed"
+                    )
+                down.discard(key)
+
+    @classmethod
+    def from_events(
+        cls, events: Sequence[tuple[float, str, str]]
+    ) -> "FaultSchedule":
+        """Build from ``(t, kind, target)`` triples (kind as string)."""
+        return cls(FaultEvent(t, FaultKind(kind), target) for t, kind, target in events)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        duration_s: float,
+        servers: Sequence[str] = (),
+        switches: Sequence[str] = (),
+        links: Sequence[str] = (),
+        mtbf_s: float = 1800.0,
+        mttr_s: float = 300.0,
+    ) -> "FaultSchedule":
+        """Sample independent fail/repair cycles per component.
+
+        Each component alternates exponential up-times (mean *mtbf_s*) and
+        exponential down-times (mean *mttr_s*), drawn from its own named
+        stream of *seed* — so adding a switch to the fleet never perturbs
+        the servers' fault times.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if mtbf_s <= 0 or mttr_s <= 0:
+            raise ValueError("mtbf_s and mttr_s must be positive")
+        hub = RngHub(seed)
+        events: list[FaultEvent] = []
+        groups = (
+            (FaultKind.SERVER_CRASH, servers),
+            (FaultKind.SWITCH_FAIL, switches),
+            (FaultKind.LINK_DOWN, links),
+        )
+        for fail_kind, targets in groups:
+            for target in targets:
+                rng = hub.stream("faults", fail_kind.value, target)
+                t = float(rng.exponential(mtbf_s))
+                while t < duration_s:
+                    events.append(FaultEvent(t, fail_kind, target))
+                    t += float(rng.exponential(mttr_s))
+                    if t >= duration_s:
+                        break  # stays down past the horizon
+                    events.append(FaultEvent(t, fail_kind.recovery, target))
+                    t += float(rng.exponential(mtbf_s))
+        return cls(events)
+
+    @classmethod
+    def scripted_basic(
+        cls,
+        switch: str,
+        servers: Sequence[str],
+        t0: float = 300.0,
+        outage_s: float = 600.0,
+    ) -> "FaultSchedule":
+        """The acceptance scenario: one LB-switch failure plus crashes of
+        *servers* during steady load, everything repaired after
+        *outage_s*."""
+        if len(servers) < 1:
+            raise ValueError("need at least one server to crash")
+        events = [(t0, FaultKind.SWITCH_FAIL.value, switch)]
+        for i, srv in enumerate(servers):
+            events.append((t0 + 30.0 * (i + 1), FaultKind.SERVER_CRASH.value, srv))
+        events.append((t0 + outage_s, FaultKind.SWITCH_RECOVER.value, switch))
+        for i, srv in enumerate(servers):
+            events.append(
+                (t0 + outage_s + 30.0 * (i + 1), FaultKind.SERVER_RECOVER.value, srv)
+            )
+        return cls.from_events(events)
+
+    # -- views ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def horizon_s(self) -> float:
+        """Time of the last event (0 for an empty schedule)."""
+        return self.events[-1].t if self.events else 0.0
+
+    def failures(self) -> list[FaultEvent]:
+        return [e for e in self.events if e.kind.is_failure]
+
+    def for_target(self, target: str) -> list[FaultEvent]:
+        return [e for e in self.events if e.target == target]

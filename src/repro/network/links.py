@@ -44,11 +44,28 @@ class AccessLink:
     capacity_gbps: float
     cost_per_gbps: float = 1.0
     monitor: Optional[UtilizationMonitor] = field(default=None, repr=False)
+    #: Operational state; a down link carries no traffic (fault injection).
+    up: bool = True
 
     def attach(self, env: "Environment") -> "AccessLink":
         """Create the utilization monitor once a simulation exists."""
         self.monitor = UtilizationMonitor(env, self.capacity_gbps, self.name)
         return self
+
+    # -- fault injection ----------------------------------------------------
+    @property
+    def is_up(self) -> bool:
+        return self.up
+
+    def fail(self) -> None:
+        """Take the link down: demand addressed to it is dropped until the
+        DNS re-steer (K1) moves clients away."""
+        self.up = False
+        if self.monitor is not None:
+            self.monitor.set_load(0.0)
+
+    def restore(self) -> None:
+        self.up = True
 
     @property
     def load_gbps(self) -> float:
@@ -140,3 +157,6 @@ class InternetSide:
 
     def overloaded(self, threshold: float = 1.0) -> list[AccessLink]:
         return [l for l in self.links.values() if l.utilization > threshold]
+
+    def links_down(self) -> list[AccessLink]:
+        return [l for l in self.links.values() if not l.is_up]

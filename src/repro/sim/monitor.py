@@ -16,16 +16,35 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class Tally:
-    """Online statistics over discrete observations (Welford's algorithm)."""
+    """Online statistics over discrete observations (Welford's algorithm).
 
-    def __init__(self, name: str = ""):
+    Count, mean, variance, min and max are exact regardless of how many
+    values are observed.  Raw values — which percentiles are computed
+    from — are retained in a *bounded reservoir* (uniform reservoir
+    sampling, deterministic per tally name): exact up to
+    ``reservoir_size`` observations, an unbiased sample beyond that.
+    Pass ``keep_values=True`` to opt into unbounded retention and exact
+    percentiles at any count.
+    """
+
+    def __init__(
+        self,
+        name: str = "",
+        keep_values: bool = False,
+        reservoir_size: int = 4096,
+    ):
+        if reservoir_size < 1:
+            raise ValueError("reservoir_size must be >= 1")
         self.name = name
         self._n = 0
         self._mean = 0.0
         self._m2 = 0.0
         self._min = math.inf
         self._max = -math.inf
+        self._keep_values = keep_values
+        self._reservoir_size = int(reservoir_size)
         self._values: list[float] = []
+        self._rng: Optional[np.random.Generator] = None
 
     def observe(self, value: float) -> None:
         v = float(value)
@@ -35,7 +54,20 @@ class Tally:
         self._m2 += delta * (v - self._mean)
         self._min = min(self._min, v)
         self._max = max(self._max, v)
-        self._values.append(v)
+        if self._keep_values or self._n <= self._reservoir_size:
+            self._values.append(v)
+        else:
+            # Algorithm R: each of the n values seen so far has equal
+            # probability reservoir_size/n of being retained.
+            if self._rng is None:
+                from repro.sim.rng import stable_hash
+
+                self._rng = np.random.default_rng(
+                    stable_hash("tally-reservoir", self.name, self._reservoir_size)
+                )
+            j = int(self._rng.integers(0, self._n))
+            if j < self._reservoir_size:
+                self._values[j] = v
 
     @property
     def count(self) -> int:
@@ -62,12 +94,21 @@ class Tally:
         return self._max if self._n else math.nan
 
     def percentile(self, q: float) -> float:
-        """q in [0, 100]."""
+        """q in [0, 100].  Exact while the reservoir has not overflowed
+        (or with ``keep_values=True``); a sample estimate beyond that."""
         if not self._values:
             return math.nan
         return float(np.percentile(np.asarray(self._values), q))
 
+    @property
+    def retained_count(self) -> int:
+        """How many raw values are currently held (bounded unless
+        ``keep_values=True``)."""
+        return len(self._values)
+
     def values(self) -> np.ndarray:
+        """The retained raw values (a reservoir sample once ``count``
+        exceeds the reservoir size)."""
         return np.asarray(self._values, dtype=float)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -12,6 +12,8 @@ from repro.core import MegaDataCenter, PlatformConfig
 from repro.sim import RngHub
 from repro.workload import WorkloadBuilder
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def day_run():

@@ -9,6 +9,8 @@ from repro.lbswitch.addresses import PUBLIC_VIP_POOL
 from repro.lbswitch.switch import LBSwitch, SwitchLimits
 from repro.sim import Environment
 
+pytestmark = pytest.mark.slow
+
 
 def consistency_check(mgr: VipRipManager):
     # 1. every registered VIP is on exactly the switch the registry says

@@ -1,0 +1,137 @@
+"""Unit tests for fault schedules: ordering, validation, determinism."""
+
+import pytest
+
+from repro.faults import FaultEvent, FaultKind, FaultSchedule
+
+
+def test_events_sorted_by_time():
+    sched = FaultSchedule.from_events(
+        [
+            (100.0, "server_crash", "s1"),
+            (50.0, "switch_fail", "lb-0"),
+            (200.0, "server_recover", "s1"),
+        ]
+    )
+    assert [e.t for e in sched] == [50.0, 100.0, 200.0]
+    assert sched.horizon_s == 200.0
+    assert len(sched) == 3
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ValueError):
+        FaultEvent(-1.0, FaultKind.SERVER_CRASH, "s1")
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        FaultSchedule.from_events([(0.0, "meteor_strike", "earth")])
+
+
+def test_double_failure_rejected():
+    with pytest.raises(ValueError, match="already down"):
+        FaultSchedule.from_events(
+            [
+                (10.0, "server_crash", "s1"),
+                (20.0, "server_crash", "s1"),
+            ]
+        )
+
+
+def test_recovery_without_failure_rejected():
+    with pytest.raises(ValueError, match="never failed"):
+        FaultSchedule.from_events([(10.0, "switch_recover", "lb-0")])
+
+
+def test_fail_recover_cycles_allowed():
+    sched = FaultSchedule.from_events(
+        [
+            (10.0, "link_down", "link-a"),
+            (20.0, "link_up", "link-a"),
+            (30.0, "link_down", "link-a"),
+        ]
+    )
+    assert len(sched.failures()) == 2
+    assert len(sched.for_target("link-a")) == 3
+
+
+def test_distinct_classes_do_not_collide():
+    # A server and a switch may share a name without tripping validation.
+    sched = FaultSchedule.from_events(
+        [
+            (10.0, "server_crash", "x"),
+            (20.0, "switch_fail", "x"),
+        ]
+    )
+    assert len(sched) == 2
+
+
+def test_recovery_kinds():
+    assert FaultKind.SERVER_CRASH.recovery is FaultKind.SERVER_RECOVER
+    assert FaultKind.SWITCH_FAIL.recovery is FaultKind.SWITCH_RECOVER
+    assert FaultKind.LINK_DOWN.recovery is FaultKind.LINK_UP
+    assert FaultKind.SWITCH_FAIL.fault_class == "switch"
+    assert not FaultKind.LINK_UP.is_failure
+
+
+def test_random_schedule_deterministic():
+    kwargs = dict(
+        duration_s=7200.0,
+        servers=["s1", "s2"],
+        switches=["lb-0"],
+        links=["link-a"],
+        mtbf_s=1800.0,
+        mttr_s=300.0,
+    )
+    a = FaultSchedule.random(seed=42, **kwargs)
+    b = FaultSchedule.random(seed=42, **kwargs)
+    c = FaultSchedule.random(seed=43, **kwargs)
+    assert a.events == b.events
+    assert a.events != c.events
+
+
+def test_random_schedule_per_target_streams_independent():
+    # Adding a switch must not perturb the servers' fault times.
+    base = FaultSchedule.random(seed=1, duration_s=7200.0, servers=["s1", "s2"])
+    more = FaultSchedule.random(
+        seed=1, duration_s=7200.0, servers=["s1", "s2"], switches=["lb-0"]
+    )
+    server_events = [e for e in more if e.kind.fault_class == "server"]
+    assert server_events == base.events
+
+
+def test_random_schedule_alternates_and_validates():
+    sched = FaultSchedule.random(
+        seed=3,
+        duration_s=36000.0,
+        servers=[f"s{i}" for i in range(5)],
+        mtbf_s=600.0,
+        mttr_s=60.0,
+    )
+    assert len(sched) > 0
+    for target in {e.target for e in sched}:
+        kinds = [e.kind for e in sched.for_target(target)]
+        assert kinds[0] is FaultKind.SERVER_CRASH
+        for prev, cur in zip(kinds, kinds[1:]):
+            assert prev.is_failure != cur.is_failure
+
+
+def test_random_schedule_rejects_bad_params():
+    with pytest.raises(ValueError):
+        FaultSchedule.random(seed=0, duration_s=0.0)
+    with pytest.raises(ValueError):
+        FaultSchedule.random(seed=0, duration_s=100.0, mtbf_s=-1.0)
+
+
+def test_scripted_basic_shape():
+    sched = FaultSchedule.scripted_basic(
+        "lb-1", ["pod-0-s0", "pod-1-s0"], t0=300.0, outage_s=600.0
+    )
+    kinds = [e.kind for e in sched]
+    assert kinds.count(FaultKind.SWITCH_FAIL) == 1
+    assert kinds.count(FaultKind.SERVER_CRASH) == 2
+    assert kinds.count(FaultKind.SWITCH_RECOVER) == 1
+    assert kinds.count(FaultKind.SERVER_RECOVER) == 2
+    assert sched.events[0].t == 300.0
+    with pytest.raises(ValueError):
+        FaultSchedule.scripted_basic("lb-1", [])

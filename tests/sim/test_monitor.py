@@ -143,3 +143,63 @@ def test_stable_hash_is_stable():
     assert stable_hash("a", 1) == stable_hash("a", 1)
     assert stable_hash("a", 1) != stable_hash("a", 2)
     assert 0 <= stable_hash("anything") < 2**64
+
+
+# -- Tally bounded retention (regression: unbounded memory growth) ----------
+def test_tally_memory_is_bounded_by_reservoir():
+    t = Tally("bounded", reservoir_size=100)
+    for i in range(10_000):
+        t.observe(float(i))
+    assert t.count == 10_000
+    assert t.retained_count == 100  # raw retention capped
+    # exact aggregate stats survive regardless of the cap
+    assert t.mean == pytest.approx(4999.5)
+    assert t.minimum == 0.0
+    assert t.maximum == 9999.0
+    assert t.std == pytest.approx(np.std(np.arange(10_000), ddof=1), rel=1e-9)
+
+
+def test_tally_percentiles_exact_until_overflow():
+    t = Tally("exact", reservoir_size=1000)
+    values = list(range(500))
+    for v in values:
+        t.observe(float(v))
+    assert t.retained_count == 500
+    assert t.percentile(50) == pytest.approx(np.percentile(values, 50))
+    assert t.percentile(99) == pytest.approx(np.percentile(values, 99))
+
+
+def test_tally_percentiles_approximate_after_overflow():
+    t = Tally("approx", reservoir_size=512)
+    n = 50_000
+    for i in range(n):
+        t.observe(float(i))
+    # a uniform sample of 0..n-1: the median estimate lands near n/2
+    assert abs(t.percentile(50) - n / 2) < n * 0.15
+    assert t.percentile(0) >= 0.0
+    assert t.percentile(100) <= n - 1
+
+
+def test_tally_reservoir_sampling_deterministic():
+    def fill(name):
+        t = Tally(name, reservoir_size=64)
+        for i in range(5000):
+            t.observe(float(i))
+        return t.values()
+
+    assert np.array_equal(fill("same"), fill("same"))
+    assert not np.array_equal(fill("same"), fill("other"))
+
+
+def test_tally_keep_values_opts_into_unbounded_retention():
+    t = Tally("full", keep_values=True, reservoir_size=10)
+    values = list(range(1000))
+    for v in values:
+        t.observe(float(v))
+    assert t.retained_count == 1000
+    assert t.percentile(90) == pytest.approx(np.percentile(values, 90))
+
+
+def test_tally_rejects_bad_reservoir_size():
+    with pytest.raises(ValueError):
+        Tally("bad", reservoir_size=0)

@@ -72,3 +72,10 @@ def test_experiment_registry_modules_importable():
     for module_name, fn_name, _, _ in EXPERIMENTS.values():
         module = importlib.import_module(f"repro.experiments.{module_name}")
         assert callable(getattr(module, fn_name))
+
+
+def test_faults_command():
+    code, out, _ = run_main(["faults", "--seed", "42", "--duration", "1200"])
+    assert code == 0  # exit code 0 iff the scenario recovered
+    assert "failure recovery" in out
+    assert "scenario recovered: True" in out
