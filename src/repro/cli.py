@@ -8,6 +8,7 @@ Usage::
     python -m repro run all                 # the full suite (slow)
     python -m repro quickstart              # build + run a small platform
     python -m repro faults --seed 42        # scripted failure-recovery scenario
+    python -m repro controlplane --seed 42  # manager crash + journal replay
 """
 
 from __future__ import annotations
@@ -32,6 +33,7 @@ EXPERIMENTS: dict[str, tuple[str, str, dict, str]] = {
     "e11": ("e11_vip_tradeoff", "run", {}, "VIPs-per-app trade-off"),
     "e12": ("e12_quality", "run", {}, "placement quality comparison"),
     "e13": ("e13_failure_recovery", "run", {}, "fault injection + graceful recovery"),
+    "e14": ("e14_control_plane", "run", {}, "control-plane crash safety + anti-entropy"),
     "a1": ("ablations", "run_pod_size", {}, "ablation: pod size"),
     "a2": ("ablations", "run_drain_ablation", {}, "ablation: K2 drain-first"),
     "a3": ("ablations", "run_damping_ablation", {}, "ablation: K1 damping"),
@@ -113,6 +115,39 @@ def cmd_faults(
     return 0 if result.recovered else 1
 
 
+def cmd_controlplane(
+    seed: int,
+    duration_s: float,
+    checkpoint_intervals: list[float] | None,
+    out=None,
+) -> int:
+    """Run the control-plane crash-safety scenario and print its report.
+
+    Exit status 0 means the scripted manager crash mid-``move_vip`` was
+    recovered via journal replay and the injected drift was repaired by
+    the anti-entropy reconciler within its convergence bound.
+    """
+    out = out if out is not None else sys.stdout
+    from repro.experiments.e14_control_plane import DEFAULT_INTERVALS, run as run_e14
+
+    intervals = (
+        tuple(checkpoint_intervals) if checkpoint_intervals else DEFAULT_INTERVALS
+    )
+    try:
+        result = run_e14(
+            seed=seed, duration_s=duration_s, checkpoint_intervals=intervals
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(file=out)
+    print(result.table().render(), file=out)
+    for monitor in result.monitors[:1]:
+        print(file=out)
+        print(monitor.table().render(), file=out)
+    return 0 if result.recovered else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -144,6 +179,23 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also fail one access link (exercises the K1 re-steer)",
     )
+    cp_p = sub.add_parser(
+        "controlplane",
+        help="run the control-plane crash-safety scenario (journal replay "
+        "+ anti-entropy reconciliation)",
+    )
+    cp_p.add_argument("--seed", type=int, default=42, help="scenario seed")
+    cp_p.add_argument(
+        "--duration", type=float, default=1800.0, help="simulated seconds"
+    )
+    cp_p.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        action="append",
+        dest="checkpoint_intervals",
+        metavar="SECONDS",
+        help="checkpoint interval to sweep (repeatable; default 60/240/960)",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -155,6 +207,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "faults":
         return cmd_faults(
             args.seed, args.duration, args.serialized, args.fail_link
+        )
+    if args.command == "controlplane":
+        return cmd_controlplane(
+            args.seed, args.duration, args.checkpoint_intervals
         )
     ids = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     unknown = [e for e in ids if e not in EXPERIMENTS]

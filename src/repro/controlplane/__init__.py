@@ -1,0 +1,29 @@
+"""Control-plane crash safety (the management tier's own fault model).
+
+The paper's serialized VIP/RIP manager is a single point of failure; this
+package gives it the survival kit real mega-datacenter controllers carry:
+
+* a :class:`WriteAheadJournal` of intent-before-apply records with
+  monotonically increasing epochs, so a crashed manager can be restarted
+  and replay the tail with epoch-fenced, idempotent applies;
+* periodic :class:`Checkpoint` snapshots (a :class:`CheckpointStore`)
+  bounding recovery cost by journal-tail length instead of history length;
+* an :class:`AntiEntropyReconciler` that periodically diffs intended
+  state (registries, DNS records, VM inventories) against actual state
+  (switch tables, resolver answers) and repairs drift through the
+  existing knob paths.
+"""
+
+from repro.controlplane.checkpoint import Checkpoint, CheckpointStore
+from repro.controlplane.journal import JournalRecord, OpPhase, WriteAheadJournal
+from repro.controlplane.reconciler import AntiEntropyReconciler, DriftReport
+
+__all__ = [
+    "AntiEntropyReconciler",
+    "Checkpoint",
+    "CheckpointStore",
+    "DriftReport",
+    "JournalRecord",
+    "OpPhase",
+    "WriteAheadJournal",
+]

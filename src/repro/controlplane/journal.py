@@ -1,0 +1,109 @@
+"""An in-sim write-ahead journal for the VIP/RIP manager.
+
+Every reconfiguration is journaled *intent-before-apply*: the manager
+appends an :data:`~OpPhase.INTENT` record (with the decision already
+pinned — target switch, allocated address, weight), performs the
+destructive work, and marks the record :data:`~OpPhase.APPLIED`.  A
+``move_vip`` additionally passes through :data:`~OpPhase.PREPARED` after
+the entry left the source switch, carrying the full entry payload, so a
+crash inside the cutover window leaves enough durable state to finish the
+move on restart.
+
+The journal models durable storage: it survives a manager crash (which
+only wipes the manager's volatile queue and registries).  Epochs increase
+monotonically and are never reused, which is what makes replay fencing
+(``epoch <= applied_epoch -> skip``) sound.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class OpPhase(str, enum.Enum):
+    """Lifecycle of one journaled operation."""
+
+    #: Decision made and pinned; no destructive work performed yet.
+    INTENT = "intent"
+    #: Destructive half done (move_vip: entry removed from the source).
+    PREPARED = "prepared"
+    #: Fully applied; replay only redoes volatile bookkeeping.
+    APPLIED = "applied"
+    #: Rejected or abandoned; replay skips it entirely.
+    ABORTED = "aborted"
+
+
+@dataclass
+class JournalRecord:
+    """One journaled reconfiguration."""
+
+    epoch: int
+    kind: str
+    app: str
+    payload: dict[str, Any] = field(default_factory=dict)
+    phase: OpPhase = OpPhase.INTENT
+
+    @property
+    def settled(self) -> bool:
+        """True once the record needs no further recovery work."""
+        return self.phase in (OpPhase.APPLIED, OpPhase.ABORTED)
+
+
+class WriteAheadJournal:
+    """Append-only log of :class:`JournalRecord` with monotonic epochs."""
+
+    def __init__(self) -> None:
+        self._records: list[JournalRecord] = []
+        self._next_epoch = 1
+        #: Appends over the journal's lifetime (truncation does not reset).
+        self.appended = 0
+
+    # -- write path ---------------------------------------------------------
+    def append(self, kind: str, app: str, **payload: Any) -> JournalRecord:
+        """Journal a new intent; assigns the next epoch."""
+        record = JournalRecord(self._next_epoch, kind, app, dict(payload))
+        self._next_epoch += 1
+        self._records.append(record)
+        self.appended += 1
+        return record
+
+    def mark(self, record: JournalRecord, phase: OpPhase, **payload: Any) -> None:
+        """Advance a record's phase, merging extra payload (e.g. the moved
+        entry's RIP map once a move_vip is PREPARED)."""
+        if record.settled and phase != record.phase:
+            raise ValueError(
+                f"journal epoch {record.epoch} already settled ({record.phase.value})"
+            )
+        record.phase = phase
+        record.payload.update(payload)
+
+    def truncate_through(self, epoch: int) -> int:
+        """Drop settled records with ``epoch <= epoch`` (checkpoint taken);
+        returns how many were dropped.  Unsettled records are always kept —
+        they are the recovery frontier."""
+        kept = [r for r in self._records if r.epoch > epoch or not r.settled]
+        dropped = len(self._records) - len(kept)
+        self._records = kept
+        return dropped
+
+    # -- read path ----------------------------------------------------------
+    def tail(self, after_epoch: int = 0) -> list[JournalRecord]:
+        """Records with ``epoch > after_epoch`` in epoch order."""
+        return [r for r in self._records if r.epoch > after_epoch]
+
+    @property
+    def last_epoch(self) -> int:
+        """Highest epoch ever assigned (0 when nothing was journaled)."""
+        return self._next_epoch - 1
+
+    @property
+    def unsettled(self) -> list[JournalRecord]:
+        return [r for r in self._records if not r.settled]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)

@@ -1,0 +1,343 @@
+"""Anti-entropy reconciliation of the control plane.
+
+A periodic process diffs *intended* state (the platform registries, the
+DNS authority's exposure policy, the hypervisors' VM inventories) against
+*actual* state (LB-switch VIP/RIP tables, resolver answers, the VIP/RIP
+manager's index) and repairs drift through the existing knob paths —
+never by inventing new mutation channels.  This is what bounds the damage
+of the failure modes journal replay cannot see: half-configured switches
+whose move was aborted, registries diverged by lost bookkeeping, stale
+DNS answers, running VMs whose wiring evaporated with a crashed manager.
+
+Each pass is pure bookkeeping at one instant of simulated time (the scan
+itself is free; repairs go through paths that charge their own latency).
+Convergence is measured from the first drifty pass to the next clean one
+and reported into the :class:`repro.faults.RecoveryMonitor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.datacenter import MegaDataCenter
+    from repro.faults.metrics import RecoveryMonitor
+
+
+@dataclass
+class DriftReport:
+    """Outcome of one reconciliation pass."""
+
+    t: float
+    #: VIPs registered but present on no switch table.
+    vip_missing: int = 0
+    #: VIPs whose actual switch differs from the registry.
+    vip_misplaced: int = 0
+    #: VIPs present on more than one switch table.
+    vip_duplicate: int = 0
+    #: Registered serving RIPs absent from their VIP's table.
+    rip_missing: int = 0
+    #: Table RIPs no registry or pending wiring accounts for.
+    rip_orphaned: int = 0
+    #: VIP/RIP-manager index entries contradicting the tables.
+    index_stale: int = 0
+    #: Apps whose DNS answer disagreed with what can actually serve.
+    dns_stale: int = 0
+    #: Serving VMs missing from the RIP registry (wiring lost).
+    vm_unregistered: int = 0
+    #: Repairs actually performed (<= detected when repair is impossible,
+    #: e.g. no healthy switch has slots for a stranded VIP).
+    repaired: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def detected(self) -> int:
+        return (
+            self.vip_missing
+            + self.vip_misplaced
+            + self.vip_duplicate
+            + self.rip_missing
+            + self.rip_orphaned
+            + self.index_stale
+            + self.dns_stale
+            + self.vm_unregistered
+        )
+
+    @property
+    def clean(self) -> bool:
+        return self.detected == 0
+
+
+class AntiEntropyReconciler:
+    """Periodically diff intended vs. actual state and repair the drift."""
+
+    def __init__(
+        self,
+        dc: "MegaDataCenter",
+        interval_s: float = 30.0,
+        monitor: Optional["RecoveryMonitor"] = None,
+        repair: bool = True,
+    ):
+        if interval_s <= 0:
+            raise ValueError("reconciler interval must be positive")
+        self.dc = dc
+        self.env = dc.env
+        self.interval_s = interval_s
+        self.monitor = monitor
+        #: With repair off the reconciler is a pure drift detector.
+        self.repair = repair
+        self.passes = 0
+        self.drift_detected = 0
+        self.drift_repaired = 0
+        self.reports: list[DriftReport] = []
+        #: Completed drift->clean convergence intervals (seconds).
+        self.convergence_times: list[float] = []
+        self._dirty_since: Optional[float] = None
+        self._busy: set[str] = set()
+        self._proc = self.env.process(self._run())
+
+    def _run(self):
+        while True:
+            yield self.env.timeout(self.interval_s)
+            self.run_pass()
+
+    # ------------------------------------------------------------------ pass
+    def run_pass(self) -> DriftReport:
+        """One full reconciliation sweep; callable directly from tests."""
+        report = DriftReport(t=self.env.now)
+        viprip = self.dc.viprip
+        if viprip is not None and (viprip.crashed or viprip._recovering):
+            # Anti-entropy defers to crash recovery: intended state is not
+            # trustworthy until the journal tail has been replayed, and a
+            # concurrent "repair" would race the replay's applies.
+            report.notes.append("skipped: manager down, recovery owns the state")
+            self.reports.append(report)
+            return report
+        self._busy = self._busy_vips()
+        self._reconcile_vip_placement(report)
+        self._reconcile_rip_tables(report)
+        self._reconcile_orphans(report)
+        self._reconcile_manager_index(report)
+        self._reconcile_dns(report)
+        self._reconcile_vm_inventory(report)
+
+        self.passes += 1
+        self.reports.append(report)
+        self.drift_detected += report.detected
+        self.drift_repaired += report.repaired
+        monitor = self._monitor()
+        if report.detected > 0:
+            if self._dirty_since is None:
+                self._dirty_since = report.t
+        elif self._dirty_since is not None:
+            # First clean pass after drift: the plane has converged.
+            dt = report.t - self._dirty_since
+            self.convergence_times.append(dt)
+            self._dirty_since = None
+            if monitor is not None:
+                monitor.note_convergence(dt)
+        if monitor is not None and report.detected > 0:
+            monitor.note_drift(report.detected, report.repaired)
+        return report
+
+    def _monitor(self) -> Optional["RecoveryMonitor"]:
+        """Explicit monitor if one was given, else whatever RecoveryMonitor
+        the fault injector attached to the facade."""
+        if self.monitor is not None:
+            return self.monitor
+        return getattr(self.dc, "recovery_monitor", None)
+
+    # ------------------------------------------------------------ VIP checks
+    def _busy_vips(self) -> set[str]:
+        """VIPs whose placement is legitimately in motion: mid-K2-transfer
+        under the global manager, or owned by a queued/in-flight/unsettled
+        VIP/RIP-manager operation."""
+        busy: set[str] = set()
+        gm = self.dc.global_manager
+        if gm is not None:
+            busy |= gm.vips_in_transfer
+        if self.dc.viprip is not None:
+            busy |= self.dc.viprip.vips_in_flight()
+        return busy
+
+    def _in_transfer(self, vip: str) -> bool:
+        return vip in self._busy
+
+    def _reconcile_vip_placement(self, report: DriftReport) -> None:
+        dc = self.dc
+        for vip in sorted(dc.state.vips):
+            if self._in_transfer(vip):
+                continue  # legitimately off both switches mid-K2
+            info = dc.state.vips[vip]
+            actual = sorted(
+                name for name, sw in dc.switches.items() if sw.has_vip(vip)
+            )
+            if actual == [info.switch]:
+                continue
+            if len(actual) > 1:
+                report.vip_duplicate += 1
+                if not self.repair:
+                    continue
+                keep = info.switch if info.switch in actual else actual[0]
+                for name in actual:
+                    if name != keep:
+                        dc.switches[name].remove_vip(vip)
+                if keep != info.switch:
+                    dc._on_vip_rehomed(vip, keep)
+                report.repaired += 1
+            elif len(actual) == 1:
+                # The data plane is authoritative for *where* the entry
+                # lives; realign the registry (and DNS) to it.
+                report.vip_misplaced += 1
+                if self.repair:
+                    dc._on_vip_rehomed(vip, actual[0])
+                    report.repaired += 1
+            else:
+                # Stranded: on no switch and not in transfer (e.g. an
+                # aborted half-configured move).  Recreate the group on a
+                # healthy switch; the RIP pass refills it from the
+                # registry.
+                report.vip_missing += 1
+                if not self.repair:
+                    continue
+                candidates = [
+                    sw
+                    for name, sw in sorted(dc.switches.items())
+                    if dc.state.switch_is_up(name) and sw.vip_slots_free > 0
+                ]
+                if not candidates:
+                    report.notes.append(f"no healthy switch for stranded {vip}")
+                    continue
+                target = min(candidates, key=lambda s: (s.utilization, s.name))
+                target.add_vip(vip, info.app)
+                dc._on_vip_rehomed(vip, target.name)
+                report.repaired += 1
+
+    # ------------------------------------------------------------ RIP checks
+    def _reconcile_rip_tables(self, report: DriftReport) -> None:
+        dc = self.dc
+        for rip in sorted(dc.state.rips):
+            info = dc.state.rips[rip]
+            if not info.vm.is_serving:
+                continue  # the registry invariant pass owns this case
+            vinfo = dc.state.vips.get(info.vip)
+            if vinfo is None or self._in_transfer(info.vip):
+                continue
+            sw = dc.switches.get(vinfo.switch)
+            if sw is None or not sw.has_vip(info.vip):
+                continue  # unresolved VIP drift; next pass retries
+            entry = sw.entry(info.vip)
+            if rip in entry.rips:
+                continue
+            report.rip_missing += 1
+            if not self.repair:
+                continue
+            if sw.rip_slots_free <= 0:
+                report.notes.append(f"no RIP slot on {sw.name} for {rip}")
+                continue
+            weight = (
+                sum(entry.rips.values()) / len(entry.rips) if entry.rips else 1.0
+            )
+            sw.add_rip(info.vip, rip, weight=max(weight, 1e-6))
+            if dc.viprip is not None:
+                dc.viprip.rip_index[rip] = (info.vip, sw.name)
+            dc.state.reconfigurations += 1
+            report.repaired += 1
+
+    def _reconcile_orphans(self, report: DriftReport) -> None:
+        """Table RIPs nothing accounts for: not registered, not awaiting a
+        queued wiring, unknown to the manager's index."""
+        dc = self.dc
+        for name in sorted(dc.switches):
+            sw = dc.switches[name]
+            for vip in sorted(sw.vips()):
+                if self._in_transfer(vip):
+                    continue
+                for rip in sorted(sw.entry(vip).rips):
+                    if rip in dc.state.rips or rip in dc._pending_wirings:
+                        continue
+                    if dc.viprip is not None and rip in dc.viprip.rip_index:
+                        continue  # a queued del_rip will collect it
+                    report.rip_orphaned += 1
+                    if self.repair:
+                        sw.remove_rip(vip, rip)
+                        dc.state.reconfigurations += 1
+                        report.repaired += 1
+
+    def _reconcile_manager_index(self, report: DriftReport) -> None:
+        """The VIP/RIP manager's rip_index must match the tables it feeds."""
+        dc = self.dc
+        if dc.viprip is None:
+            return
+        for rip in sorted(dc.viprip.rip_index):
+            vip, switch_name = dc.viprip.rip_index[rip]
+            if self._in_transfer(vip):
+                continue
+            sw = dc.switches.get(switch_name)
+            if sw is not None and sw.has_vip(vip) and rip in sw.entry(vip).rips:
+                continue
+            # Where is the RIP really?
+            location = None
+            for name in sorted(dc.switches):
+                other = dc.switches[name]
+                for v in other.vips():
+                    if rip in other.entry(v).rips:
+                        location = (v, name)
+                        break
+                if location is not None:
+                    break
+            if location == (vip, switch_name):
+                continue
+            report.index_stale += 1
+            if not self.repair:
+                continue
+            if location is not None:
+                dc.viprip.rip_index[rip] = location
+            elif rip not in dc.state.rips and rip not in dc._pending_wirings:
+                # Gone from every table and every registry: drop the entry.
+                del dc.viprip.rip_index[rip]
+            else:
+                continue  # rip pass will restore the table first
+            report.repaired += 1
+
+    # ------------------------------------------------------------ DNS checks
+    def _reconcile_dns(self, report: DriftReport) -> None:
+        """Resolver answers must only expose VIPs that can serve — replays
+        the facade's own exposure policy and counts actual rewrites."""
+        dc = self.dc
+        for app in sorted(dc.specs):
+            before = dict(dc.authority.weights(app))
+            dc._ensure_exposure(app)
+            after = dict(dc.authority.weights(app))
+            if after != before:
+                report.dns_stale += 1
+                report.repaired += 1
+
+    # ------------------------------------------------------ inventory checks
+    def _reconcile_vm_inventory(self, report: DriftReport) -> None:
+        """Hypervisor inventories vs. RIP registry: a running VM whose
+        wiring was lost (e.g. queued behind a crash) is re-wired."""
+        dc = self.dc
+        for pod_name in sorted(dc.pod_managers):
+            pod = dc.pod_managers[pod_name].pod
+            for server in pod.servers:
+                for vm in server.vms:
+                    if not vm.is_serving:
+                        continue
+                    if vm.rip in dc.state.rips or vm.rip in dc._pending_wirings:
+                        continue
+                    report.vm_unregistered += 1
+                    if self.repair:
+                        dc._wire_rip(vm)
+                        report.repaired += 1
+
+    # ---------------------------------------------------------------- views
+    @property
+    def converged(self) -> bool:
+        """True when the latest pass found nothing to fix."""
+        return bool(self.reports) and self.reports[-1].clean
+
+    @property
+    def last_convergence_s(self) -> Optional[float]:
+        return self.convergence_times[-1] if self.convergence_times else None

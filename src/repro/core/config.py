@@ -63,6 +63,20 @@ class PlatformConfig:
     #: Initial retry backoff of a failed re-home attempt (doubles per try).
     fault_rehome_backoff_s: float = 2.0
 
+    # -- control-plane crash safety (repro.controlplane) ----------------------
+    #: Period of the VIP/RIP manager's checkpoint daemon (0 disables
+    #: periodic checkpoints; recovery then replays the whole journal).
+    checkpoint_interval_s: float = 120.0
+    #: Supervisor delay before a crashed manager is restarted.
+    manager_restart_s: float = 15.0
+    #: Recovery cost charged per replayed journal record.
+    journal_replay_s: float = 0.2
+    #: Width of the move_vip half-configured window (crash-safe mode only;
+    #: 0 keeps the legacy atomic remove+install).
+    manager_cutover_s: float = 0.5
+    #: Period of the anti-entropy reconciliation pass.
+    reconcile_interval_s: float = 30.0
+
     # -- epochs -------------------------------------------------------------------
     epoch_s: float = 60.0
 
@@ -89,3 +103,9 @@ class PlatformConfig:
             raise ValueError("fault timing parameters out of range")
         if self.mean_vips_per_app < 1:
             raise ValueError("mean_vips_per_app must be >= 1")
+        if self.checkpoint_interval_s < 0 or self.manager_restart_s < 0:
+            raise ValueError("control-plane timing parameters out of range")
+        if self.journal_replay_s < 0 or self.manager_cutover_s < 0:
+            raise ValueError("control-plane timing parameters out of range")
+        if self.reconcile_interval_s <= 0:
+            raise ValueError("reconcile_interval_s must be positive")

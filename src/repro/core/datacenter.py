@@ -31,6 +31,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.analysis.stats import max_mean_ratio
+from repro.controlplane import AntiEntropyReconciler, CheckpointStore, WriteAheadJournal
 from repro.core.config import PlatformConfig
 from repro.core.global_manager import GlobalManager
 from repro.core.pod import Pod
@@ -80,11 +81,18 @@ class MegaDataCenter:
         exposure_policy: Optional[ExposurePolicy] = None,
         proactive_exposure: bool = False,
         serialized_reconfig: bool = False,
+        crash_safe_manager: bool = False,
         topology: Optional["PortLand"] = None,
     ):
         if not apps:
             raise ValueError("need at least one application")
         self.config = config if config is not None else PlatformConfig()
+        # Crash safety only makes sense for the serialized control plane:
+        # it journals the VIP/RIP manager's operations and runs the
+        # anti-entropy reconciler against its registries.
+        self.crash_safe_manager = crash_safe_manager
+        if crash_safe_manager:
+            serialized_reconfig = True
         self.env = Environment()
         self.specs = {a.app_id: a for a in apps}
 
@@ -170,6 +178,14 @@ class MegaDataCenter:
         # default instant mode mutates tables directly and only counts.
         self.serialized_reconfig = serialized_reconfig
         self.viprip: Optional[VipRipManager] = None
+        #: Durable control-plane storage (crash-safe mode only): the
+        #: write-ahead journal and checkpoint store survive manager
+        #: crashes, unlike the manager's volatile queue and registries.
+        self.journal: Optional[WriteAheadJournal] = None
+        self.checkpoints: Optional[CheckpointStore] = None
+        if crash_safe_manager:
+            self.journal = WriteAheadJournal()
+            self.checkpoints = CheckpointStore()
         if serialized_reconfig:
             self.viprip = VipRipManager(
                 self.env,
@@ -183,6 +199,18 @@ class MegaDataCenter:
                 on_vip_moved=self._on_vip_rehomed,
                 rehome_timeout_s=self.config.fault_rehome_timeout_s,
                 rehome_backoff_s=self.config.fault_rehome_backoff_s,
+                journal=self.journal,
+                checkpoints=self.checkpoints,
+                checkpoint_interval_s=(
+                    self.config.checkpoint_interval_s if crash_safe_manager else 0.0
+                ),
+                cutover_s=(
+                    self.config.manager_cutover_s if crash_safe_manager else 0.0
+                ),
+                replay_record_s=self.config.journal_replay_s,
+                state_snapshot=(
+                    self.state.snapshot if crash_safe_manager else None
+                ),
             )
         # RIPs whose wiring request is queued but not applied yet; maps
         # rip -> VM (dropped if the VM stops before the request lands).
@@ -225,6 +253,15 @@ class MegaDataCenter:
         self.reports_history: list[list[PodReport]] = []
         self.epochs = 0
 
+        # --- control-plane reconciliation ---------------------------------------------
+        #: Anti-entropy reconciler (crash-safe mode): periodically diffs
+        #: intended vs. actual state and repairs drift.
+        self.reconciler: Optional[AntiEntropyReconciler] = None
+        if crash_safe_manager:
+            self.reconciler = AntiEntropyReconciler(
+                self, interval_s=self.config.reconcile_interval_s
+            )
+
         # --- fault handling --------------------------------------------------------------
         # Crashed servers parked for repair: name -> (home pod, server).
         self._crashed_servers: dict[str, tuple[str, PhysicalServer]] = {}
@@ -234,6 +271,8 @@ class MegaDataCenter:
         #: Optional :class:`repro.faults.RecoveryMonitor` fed by the epoch
         #: loop (dropped demand) — set by a ``FaultInjector``.
         self.recovery_monitor = None
+        #: Control-plane crashes inflicted on the VIP/RIP manager.
+        self.manager_crashes = 0
 
     # ------------------------------------------------------------------ build
     def _assign_vips(self) -> None:
@@ -347,9 +386,14 @@ class MegaDataCenter:
         mine = self._pending_wirings.get(vm.rip) is vm
         if mine:
             self._pending_wirings.pop(vm.rip, None)
+        if not event.ok:
+            return  # request errored; the reconciler re-wires survivors
         result = event.value
         if result is None:
-            return  # rejected: no hosting switch had capacity
+            # Rejected (no hosting switch had capacity) or dropped by a
+            # manager crash; a crash-safe deployment's reconciler re-wires
+            # still-running VMs on its next pass.
+            return
         vip, _switch = result
         if not mine or vm.state != VMState.RUNNING or vm.host is None:
             # The VM stopped (or the RIP was repurposed) while the request
@@ -623,6 +667,46 @@ class MegaDataCenter:
                 self._ensure_exposure(app)
         done.succeed()
         return done
+
+    def crash_manager(self, name: str = "viprip") -> Event:
+        """The serialized VIP/RIP manager dies mid-operation: queued and
+        in-flight requests are lost (their waiters see ``None``) and the
+        volatile registries are wiped.  A supervisor restarts it after
+        ``config.manager_restart_s``; recovery restores the latest
+        checkpoint and replays the journal tail.  The returned event fires
+        once replay is complete (the MTTR the injector measures)."""
+        done = Event(self.env)
+        if self.viprip is None or self.viprip.crashed:
+            done.succeed()
+            return done
+        before_lost = self.viprip.lost
+        self.viprip.crash()
+        self.manager_crashes += 1
+        lost = self.viprip.lost - before_lost
+        if self.recovery_monitor is not None and lost:
+            self.recovery_monitor.note_lost_reconfigurations(lost)
+        self.env.process(self._restart_manager(done))
+        return done
+
+    def _restart_manager(self, done: Event):
+        yield self.env.timeout(self.config.manager_restart_s)
+        yield from self.viprip.recover(failed=set(self.state.failed_switches))
+        done.succeed()
+
+    def recover_manager(self, name: str = "viprip") -> Event:
+        """Force recovery of a crashed manager (a scheduled
+        ``manager_recover`` event); a no-op when the supervisor's
+        automatic restart already brought it back."""
+        done = Event(self.env)
+        if self.viprip is None or not self.viprip.crashed:
+            done.succeed()
+            return done
+        self.env.process(self._force_recover_manager(done))
+        return done
+
+    def _force_recover_manager(self, done: Event):
+        yield from self.viprip.recover(failed=set(self.state.failed_switches))
+        done.succeed()
 
     @property
     def reconfig_retries(self) -> int:

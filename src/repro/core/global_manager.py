@@ -115,6 +115,13 @@ class GlobalManager:
         #: than that just thrashes.
         self.k2_cooldown_s = 5 * config.epoch_s
 
+    @property
+    def vips_in_transfer(self) -> frozenset[str]:
+        """VIPs currently mid-K2-transfer (legitimately off both switch
+        tables) — consumers like the anti-entropy reconciler must not
+        treat them as drift."""
+        return frozenset(self._vips_in_transfer)
+
     # ------------------------------------------------------------------ API
     def react(self, reports: list[PodReport], t: float) -> None:
         """One control pass: links, switches, pods, elephants."""

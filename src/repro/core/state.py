@@ -78,6 +78,26 @@ class PlatformState:
     def unregister_rip(self, rip: str) -> RipInfo:
         return self.rips.pop(rip)
 
+    # -- checkpointing ---------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-data view of the registries for control-plane checkpoints.
+
+        Only durable *bookkeeping* is captured — VM/server objects stay
+        live references elsewhere; a checkpoint must never resurrect
+        hardware.  The structure is deep-copy-safe (str/int/float/list/
+        dict only).
+        """
+        return {
+            "vips": {
+                v: {"app": i.app, "switch": i.switch, "link": i.link}
+                for v, i in self.vips.items()
+            },
+            "rips": {r: {"app": i.app, "vip": i.vip} for r, i in self.rips.items()},
+            "app_vips": {a: list(vs) for a, vs in self.app_vips.items()},
+            "failed_switches": sorted(self.failed_switches),
+            "reconfigurations": self.reconfigurations,
+        }
+
     # -- queries ---------------------------------------------------------------
     def switch_of_vip(self, vip: str) -> LBSwitch:
         return self.switches[self.vips[vip].switch]

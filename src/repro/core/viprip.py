@@ -11,6 +11,15 @@ Decision cost is charged through the pluggable switch-selection strategy
 (flat scan vs. switch pods — Section V-A), and the actual table write costs
 one switch-reconfiguration latency.  Experiment E9 measures the resulting
 sustained request throughput.
+
+Crash safety (``repro.controlplane``): when a :class:`WriteAheadJournal`
+is attached, every reconfiguration is journaled *intent-before-apply*
+with a monotonically increasing epoch.  A ``manager_crash`` fault may
+then :meth:`~VipRipManager.crash` the manager mid-operation — wiping the
+volatile queue, registry and RIP index, and possibly leaving a switch
+half-configured inside a ``move_vip`` cutover — and
+:meth:`~VipRipManager.recover` restores the latest checkpoint and
+replays the journal tail with epoch-fenced, idempotent applies.
 """
 
 from __future__ import annotations
@@ -18,15 +27,40 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 from itertools import count
-from typing import TYPE_CHECKING, Any, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
+from repro.controlplane.journal import OpPhase
 from repro.core.switch_pods import FlatSwitchManager, Selection
 from repro.lbswitch.addresses import AddressPool
-from repro.lbswitch.switch import LBSwitch
-from repro.sim.events import Event
+from repro.lbswitch.switch import LBSwitch, VipEntry
+from repro.sim.events import Event, Interrupt
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.controlplane.checkpoint import CheckpointStore
+    from repro.controlplane.journal import JournalRecord, WriteAheadJournal
     from repro.sim.core import Environment
+
+OP_INTENT = OpPhase.INTENT
+OP_PREPARED = OpPhase.PREPARED
+OP_APPLIED = OpPhase.APPLIED
+OP_ABORTED = OpPhase.ABORTED
+
+
+class UnknownRequestKind(LookupError):
+    """A request kind the serialized processor has no handler for.
+
+    Subclasses :class:`LookupError` so fault-path callers can catch it
+    deliberately instead of seeing a bare ``AttributeError`` escape the
+    dispatch.
+    """
+
+
+class UnknownVipError(KeyError):
+    """A VIP lookup against the manager's registry found nothing.
+
+    Subclasses :class:`KeyError` for backwards compatibility with callers
+    that guarded the old bare-``KeyError`` behaviour.
+    """
 
 
 @dataclass
@@ -100,6 +134,13 @@ class VipRipManager:
         on_vip_moved=None,
         rehome_timeout_s: float = 120.0,
         rehome_backoff_s: float = 2.0,
+        journal: Optional["WriteAheadJournal"] = None,
+        checkpoints: Optional["CheckpointStore"] = None,
+        checkpoint_interval_s: float = 0.0,
+        cutover_s: float = 0.0,
+        replay_record_s: float = 0.2,
+        restore_s: float = 1.0,
+        state_snapshot: Optional[Callable[[], dict]] = None,
     ):
         self.env = env
         self.switches = {s.name: s for s in switches}
@@ -127,15 +168,53 @@ class VipRipManager:
         self.processed = 0
         self.rejected = 0
         self.retries = 0
+        #: Requests whose handler raised; each fails its ``done`` event
+        #: with the error instead of wedging the serialized processor.
+        self.errored = 0
         self.busy_s = 0.0
+
+        # -- crash safety (repro.controlplane) --------------------------------
+        #: Durable write-ahead journal; ``None`` disables crash safety.
+        self.journal = journal
+        self.checkpoints = checkpoints
+        self.checkpoint_interval_s = checkpoint_interval_s
+        #: Width of the move_vip window between the entry leaving the
+        #: source switch and landing on the target — a crash inside it
+        #: leaves the switch half-configured (journal phase PREPARED).
+        self.cutover_s = cutover_s
+        #: Recovery cost charged per replayed journal record.
+        self.replay_record_s = replay_record_s
+        #: Recovery cost of loading the latest checkpoint.
+        self.restore_s = restore_s
+        self.state_snapshot = state_snapshot
+        #: Highest journal epoch whose effects are in the live registries.
+        self.applied_epoch = 0
+        self.crashed = False
+        self._recovering = False
+        self.crashes = 0
+        #: Queued/in-flight requests dropped by crashes (their ``done``
+        #: events complete with ``None`` — the dropped-reconfiguration
+        #: metric of E14).
+        self.lost = 0
+        #: Journal records re-applied across all recoveries.
+        self.replayed = 0
+
         self._heap: list[tuple[int, int, VipRipRequest]] = []
         self._seq = count()
         self._wake: Optional[Event] = None
+        self._inflight: Optional[VipRipRequest] = None
         self._proc = env.process(self._run())
+        self._cp_proc = None
+        self._start_checkpoint_daemon()
 
     # -- client API ---------------------------------------------------------
     def submit(self, request: VipRipRequest) -> Event:
-        """Queue a request; the returned event fires with the result."""
+        """Queue a request; the returned event fires with the result.
+
+        Requests submitted while the manager is crashed stay queued (the
+        clients' retry queues) and are processed after recovery — unless a
+        further crash wipes them first.
+        """
         request.done = Event(self.env)
         heapq.heappush(self._heap, (request.priority, next(self._seq), request))
         if self._wake is not None and not self._wake.triggered:
@@ -147,11 +226,33 @@ class VipRipManager:
         return len(self._heap)
 
     def switch_of_vip(self, app: str, vip: str) -> LBSwitch:
-        return self.switches[self.registry[app][vip]]
+        try:
+            return self.switches[self.registry[app][vip]]
+        except KeyError:
+            raise UnknownVipError(f"no VIP {vip!r} registered for app {app!r}") from None
 
     def vips_of(self, app: str) -> dict[str, str]:
         """app's VIPs -> hosting switch name."""
         return dict(self.registry.get(app, {}))
+
+    def vips_in_flight(self) -> set[str]:
+        """VIPs with queued, in-flight, or journal-unsettled operations.
+
+        The anti-entropy reconciler must not treat these as drift: the
+        serialized processor (or crash recovery) owns their state until
+        the operation settles."""
+        busy: set[str] = set()
+        if self._inflight is not None and self._inflight.vip is not None:
+            busy.add(self._inflight.vip)
+        for _, _, req in self._heap:
+            if req.vip is not None:
+                busy.add(req.vip)
+        if self.journal is not None:
+            for rec in self.journal.unsettled:
+                vip = rec.payload.get("vip")
+                if vip is not None:
+                    busy.add(vip)
+        return busy
 
     # -- fault awareness ----------------------------------------------------
     def mark_failed(self, switch_name: str) -> None:
@@ -162,23 +263,177 @@ class VipRipManager:
     def mark_recovered(self, switch_name: str) -> None:
         self.failed.discard(switch_name)
 
+    # -- crash / recovery --------------------------------------------------
+    def crash(self) -> None:
+        """Kill the manager mid-operation (the ``manager_crash`` fault).
+
+        Volatile memory is lost: the request queue (each entry's ``done``
+        completes with ``None`` and counts as ``lost``), the in-flight
+        request, the registry and RIP index.  The write-ahead journal and
+        checkpoints model durable storage and survive; the in-flight
+        operation's journal record keeps whatever phase it reached, so a
+        half-configured switch is visible to :meth:`recover`.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crashes += 1
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("manager crash")
+        self._proc = None
+        if self._cp_proc is not None and self._cp_proc.is_alive:
+            self._cp_proc.interrupt("manager crash")
+        self._cp_proc = None
+        dropped = [req for _, _, req in self._heap]
+        if self._inflight is not None:
+            dropped.append(self._inflight)
+            self._inflight = None
+        for req in dropped:
+            self.lost += 1
+            if req.done is not None and not req.done.triggered:
+                req.done.succeed(None)
+        self._heap = []
+        self._wake = None
+        self.registry = {}
+        self.rip_index = {}
+        self.applied_epoch = 0
+
+    def recover(self, failed: Optional[set[str]] = None):
+        """Restart a crashed manager: restore the latest checkpoint, replay
+        the journal tail (epoch-fenced, idempotent), resume processing.
+
+        A generator — drive it inside a process so restore and per-record
+        replay charge simulated time.  Returns the number of records
+        replayed.  *failed* refreshes the volatile failed-switch set from
+        the caller's (durable) view.
+        """
+        if not self.crashed or self._recovering:
+            return 0  # already up, or a concurrent recovery owns the work
+        self._recovering = True
+        try:
+            if failed is not None:
+                self.failed = set(failed)
+            if self.restore_s > 0:
+                yield self.env.timeout(self.restore_s)
+            if self.checkpoints is not None:
+                self.registry = self.checkpoints.restore_registry()
+                self.rip_index = self.checkpoints.restore_rip_index()
+                self.applied_epoch = self.checkpoints.epoch
+            else:
+                self.registry = {}
+                self.rip_index = {}
+                self.applied_epoch = 0
+            replayed = 0
+            if self.journal is not None:
+                replayed = yield from self.replay()
+            self.crashed = False
+            self._proc = self.env.process(self._run())
+            self._start_checkpoint_daemon()
+            return replayed
+        finally:
+            self._recovering = False
+
+    def replay(self):
+        """Replay the journal tail past :attr:`applied_epoch`.
+
+        Epoch fencing makes a second replay of the same journal a no-op:
+        records at or below the fence are skipped, settled records only
+        redo (idempotent) bookkeeping, and unsettled records are completed
+        and settled on first replay.
+        """
+        count_ = 0
+        for rec in self.journal.tail(self.applied_epoch):
+            if rec.epoch <= self.applied_epoch:
+                continue
+            yield from self._replay_record(rec)
+            self.applied_epoch = max(self.applied_epoch, rec.epoch)
+            self.replayed += 1
+            count_ += 1
+        return count_
+
+    def take_checkpoint(self):
+        """Snapshot the registries at the current applied epoch and drop
+        the settled journal prefix it covers."""
+        if self.checkpoints is None:
+            return None
+        state = self.state_snapshot() if self.state_snapshot is not None else None
+        cp = self.checkpoints.capture(
+            self.applied_epoch, self.env.now, self.registry, self.rip_index, state
+        )
+        if self.journal is not None:
+            self.checkpoints.truncated += self.journal.truncate_through(cp.epoch)
+        return cp
+
+    def _start_checkpoint_daemon(self) -> None:
+        if self.checkpoints is not None and self.checkpoint_interval_s > 0:
+            self._cp_proc = self.env.process(self._checkpoint_loop())
+
+    def _checkpoint_loop(self):
+        try:
+            while True:
+                yield self.env.timeout(self.checkpoint_interval_s)
+                self.take_checkpoint()
+        except Interrupt:
+            return
+
+    # -- journal helpers ----------------------------------------------------
+    def _journal_append(self, kind: str, app: str, **payload):
+        if self.journal is None:
+            return None
+        return self.journal.append(kind, app, **payload)
+
+    def _journal_mark(self, rec, phase, **payload) -> None:
+        if rec is not None:
+            self.journal.mark(rec, phase, **payload)
+
+    def _journal_settle(self, rec, phase, **payload) -> None:
+        """Mark a record APPLIED/ABORTED and advance the epoch fence."""
+        if rec is None:
+            return
+        self.journal.mark(rec, phase, **payload)
+        self.applied_epoch = max(self.applied_epoch, rec.epoch)
+
     # -- processor -------------------------------------------------------------
     def _run(self):
-        while True:
-            while not self._heap:
-                self._wake = Event(self.env)
-                yield self._wake
-            _, _, req = heapq.heappop(self._heap)
-            started = self.env.now
-            yield from self._process(req)
-            self.busy_s += self.env.now - started
-            self.processed += 1
-            if req.done is not None and not req.done.triggered:
-                req.done.succeed(req.result)
+        try:
+            while True:
+                while not self._heap:
+                    self._wake = Event(self.env)
+                    yield self._wake
+                _, _, req = heapq.heappop(self._heap)
+                self._inflight = req
+                started = self.env.now
+                try:
+                    yield from self._process(req)
+                except Interrupt:
+                    raise
+                except Exception as exc:
+                    # Contain per-request failures: the serialized
+                    # processor must survive one bad request.  The
+                    # requester sees the error through its done event
+                    # (defused so an ignored event cannot crash the
+                    # kernel); everyone queued behind keeps being served.
+                    self.errored += 1
+                    self.busy_s += self.env.now - started
+                    self._inflight = None
+                    if req.done is not None and not req.done.triggered:
+                        req.done.fail(exc)
+                        req.done.defuse()
+                    continue
+                self.busy_s += self.env.now - started
+                self.processed += 1
+                self._inflight = None
+                if req.done is not None and not req.done.triggered:
+                    req.done.succeed(req.result)
+        except Interrupt:
+            return  # crashed; recover() starts a fresh processor
 
     def _process(self, req: VipRipRequest):
-        handler = getattr(self, f"_do_{req.kind}")
-        yield from handler(req)
+        try:
+            handler = self._HANDLERS[req.kind]
+        except KeyError:
+            raise UnknownRequestKind(req.kind) from None
+        yield from handler(self, req)
 
     def _charge(self, selection: Selection):
         if selection.cost_s > 0:
@@ -192,12 +447,24 @@ class VipRipManager:
             req.result = None
             return
         vip = self.vip_pool.allocate()
+        rec = self._journal_append(
+            "new_vip", req.app, vip=vip, switch=selection.switch.name
+        )
         yield self.env.timeout(self.reconfig_s)
-        selection.switch.add_vip(vip, req.app)
-        self.registry.setdefault(req.app, {})[vip] = selection.switch.name
+        self._apply_new_vip(req.app, vip, selection.switch.name)
+        self._journal_settle(rec, OP_APPLIED)
         req.result = (vip, selection.switch.name)
 
     def _do_new_rip(self, req: VipRipRequest):
+        existing = self.rip_index.get(req.rip)
+        if existing is not None:
+            # Idempotent fast path: a duplicate (or replayed) wiring of a
+            # RIP that already landed returns its existing placement.
+            vip, switch_name = existing
+            sw = self.switches.get(switch_name)
+            if sw is not None and sw.has_vip(vip) and req.rip in sw.entry(vip).rips:
+                req.result = (vip, switch_name)
+                return
         if self.hosting_lookup is not None:
             vip_map = self.hosting_lookup(req.app)
         else:
@@ -219,33 +486,44 @@ class VipRipManager:
         # the least-loaded of them.
         vips = selection.switch.vips_of_app(req.app)
         vip = min(vips, key=lambda v: len(selection.switch.entry(v).rips))
+        rec = self._journal_append(
+            "new_rip",
+            req.app,
+            vip=vip,
+            rip=req.rip,
+            weight=req.weight,
+            switch=selection.switch.name,
+        )
         yield self.env.timeout(self.reconfig_s)
-        selection.switch.add_rip(vip, req.rip, req.weight)
-        self.rip_index[req.rip] = (vip, selection.switch.name)
+        self._apply_new_rip(vip, req.rip, req.weight, selection.switch.name)
+        self._journal_settle(rec, OP_APPLIED)
         req.result = (vip, selection.switch.name)
 
     def _do_del_vip(self, req: VipRipRequest):
         if req.vip is None or req.app not in self.registry:
             self.rejected += 1
             return
-        switch_name = self.registry[req.app].pop(req.vip, None)
+        switch_name = self.registry[req.app].get(req.vip)
         if switch_name is None:
             self.rejected += 1
             return
+        rec = self._journal_append("del_vip", req.app, vip=req.vip, switch=switch_name)
         yield self.env.timeout(self.reconfig_s)
-        entry = self.switches[switch_name].remove_vip(req.vip)
-        for rip in entry.rips:
-            self.rip_index.pop(rip, None)
-        self.vip_pool.release(req.vip)
+        removed = self._apply_del_vip(req.app, req.vip, switch_name)
+        self._journal_settle(rec, OP_APPLIED, rips=removed)
         req.result = switch_name
 
     def _do_del_rip(self, req: VipRipRequest):
         if req.rip is None or req.rip not in self.rip_index:
             self.rejected += 1
             return
-        vip, switch_name = self.rip_index.pop(req.rip)
+        vip, switch_name = self.rip_index[req.rip]
+        rec = self._journal_append(
+            "del_rip", req.app, vip=vip, rip=req.rip, switch=switch_name
+        )
         yield self.env.timeout(self.reconfig_s)
-        self.switches[switch_name].remove_rip(vip, req.rip)
+        self._apply_del_rip(vip, req.rip, switch_name)
+        self._journal_settle(rec, OP_APPLIED)
         req.result = (vip, switch_name)
 
     def _do_set_weight(self, req: VipRipRequest):
@@ -253,8 +531,17 @@ class VipRipManager:
             self.rejected += 1
             return
         vip, switch_name = self.rip_index[req.rip]
+        rec = self._journal_append(
+            "set_weight",
+            req.app,
+            vip=vip,
+            rip=req.rip,
+            weight=req.weight,
+            switch=switch_name,
+        )
         yield self.env.timeout(self.reconfig_s)
         self.switches[switch_name].set_rip_weight(vip, req.rip, req.weight)
+        self._journal_settle(rec, OP_APPLIED)
         req.result = (vip, switch_name)
 
     def _do_move_vip(self, req: VipRipRequest):
@@ -266,6 +553,12 @@ class VipRipManager:
         meanwhile (flapping) is retried with exponential backoff, and the
         whole request is bounded by :attr:`rehome_timeout_s` so a fault
         storm cannot wedge the serialized queue behind one hopeless move.
+
+        With a journal attached, the move is journaled before the entry
+        leaves the source switch (phase PREPARED, entry pinned in the
+        payload) and the cutover pays :attr:`cutover_s` — a crash inside
+        that window leaves the VIP off both switches, and recovery
+        finishes the move from the journal.
         """
         vip = req.vip
         src_name = req.switch
@@ -276,6 +569,7 @@ class VipRipManager:
             self.rejected += 1
             req.result = None
             return
+        rec = self._journal_append("move_vip", req.app, vip=vip, src=src.name)
         deadline = self.env.now + self.rehome_timeout_s
         backoff = self.rehome_backoff_s
         while True:
@@ -293,26 +587,284 @@ class VipRipManager:
                     and target.rip_slots_free >= len(src.entry(vip).rips)
                     and src.has_vip(vip)
                 ):
+                    self._journal_mark(
+                        rec,
+                        OP_PREPARED,
+                        dst=target.name,
+                        entry_app=src.entry(vip).app,
+                        entry_rips=dict(src.entry(vip).rips),
+                    )
                     entry = src.remove_vip(vip)
-                    target.install_entry(entry)
-                    if vip in self.registry.get(req.app, {}):
-                        self.registry[req.app][vip] = target.name
-                    for rip in entry.rips:
-                        if rip in self.rip_index:
-                            self.rip_index[rip] = (vip, target.name)
-                    if self.on_vip_moved is not None:
-                        self.on_vip_moved(vip, target.name)
-                    req.result = target.name
-                    return
+                    if self.cutover_s > 0:
+                        # Half-configured window: the VIP is on neither
+                        # switch until the target write completes.
+                        yield self.env.timeout(self.cutover_s)
+                        if (
+                            target.name in self.failed
+                            or target.vip_slots_free <= 0
+                            or target.rip_slots_free < len(entry.rips)
+                        ):
+                            # Target died inside the cutover: put the
+                            # entry back and retry the whole attempt.
+                            src.install_entry(entry)
+                            self._journal_mark(rec, OP_INTENT)
+                            target = None
+                    if target is not None:
+                        target.install_entry(entry)
+                        self._apply_move_bookkeeping(
+                            req.app, vip, target.name, entry.rips
+                        )
+                        self._journal_settle(rec, OP_APPLIED)
+                        if self.on_vip_moved is not None:
+                            self.on_vip_moved(vip, target.name)
+                        req.result = target.name
+                        return
             if not src.has_vip(vip):
                 # Deleted (or moved by someone else) while we retried.
                 self.rejected += 1
+                self._journal_settle(rec, OP_ABORTED)
                 req.result = None
                 return
             self.retries += 1
             if self.env.now + backoff > deadline:
                 self.rejected += 1
+                self._journal_settle(rec, OP_ABORTED)
                 req.result = None
                 return
             yield self.env.timeout(backoff)
             backoff *= 2.0
+
+    # -- idempotent applies (shared by live path and journal replay) --------
+    def _apply_new_vip(self, app: str, vip: str, switch_name: str) -> None:
+        sw = self.switches[switch_name]
+        if not sw.has_vip(vip):
+            sw.add_vip(vip, app)
+        self.registry.setdefault(app, {})[vip] = switch_name
+
+    def _apply_new_rip(self, vip: str, rip: str, weight: float, switch_name: str) -> None:
+        sw = self.switches[switch_name]
+        if sw.has_vip(vip) and rip not in sw.entry(vip).rips:
+            sw.add_rip(vip, rip, weight)
+        self.rip_index[rip] = (vip, switch_name)
+
+    def _apply_del_vip(self, app: str, vip: str, switch_name: str) -> list[str]:
+        sw = self.switches[switch_name]
+        removed: list[str] = []
+        if sw.has_vip(vip):
+            entry = sw.remove_vip(vip)
+            removed = sorted(entry.rips)
+        for rip in removed:
+            self.rip_index.pop(rip, None)
+        if self.vip_pool.is_allocated(vip):
+            self.vip_pool.release(vip)
+        self.registry.get(app, {}).pop(vip, None)
+        return removed
+
+    def _apply_del_rip(self, vip: str, rip: str, switch_name: str) -> None:
+        sw = self.switches[switch_name]
+        if sw.has_vip(vip) and rip in sw.entry(vip).rips:
+            sw.remove_rip(vip, rip)
+        self.rip_index.pop(rip, None)
+
+    def _apply_move_bookkeeping(
+        self, app: str, vip: str, dst: str, rips
+    ) -> None:
+        if vip in self.registry.get(app, {}):
+            self.registry[app][vip] = dst
+        for rip in rips:
+            if rip in self.rip_index:
+                self.rip_index[rip] = (vip, dst)
+
+    # -- journal replay -----------------------------------------------------
+    def _replay_record(self, rec: "JournalRecord"):
+        if self.replay_record_s > 0:
+            yield self.env.timeout(self.replay_record_s)
+        if rec.phase is OP_ABORTED:
+            return
+        if rec.phase is OP_APPLIED:
+            self._replay_bookkeeping(rec)
+            return
+        yield from self._complete(rec)
+
+    def _replay_bookkeeping(self, rec: "JournalRecord") -> None:
+        """Rebuild the volatile registry effects of an already-applied
+        record.  Never touches switch tables or the address pool — those
+        are durable and already hold the operation's outcome."""
+        p = rec.payload
+        if rec.kind == "new_vip":
+            self.registry.setdefault(rec.app, {})[p["vip"]] = p["switch"]
+        elif rec.kind == "new_rip":
+            self.rip_index[p["rip"]] = (p["vip"], p["switch"])
+        elif rec.kind == "del_vip":
+            self.registry.get(rec.app, {}).pop(p["vip"], None)
+            for rip in p.get("rips", []):
+                self.rip_index.pop(rip, None)
+        elif rec.kind == "del_rip":
+            self.rip_index.pop(p["rip"], None)
+        elif rec.kind == "move_vip":
+            if rec.app in self.registry and p["vip"] in self.registry[rec.app]:
+                self.registry[rec.app][p["vip"]] = p["dst"]
+            for rip in p.get("entry_rips", {}):
+                if rip in self.rip_index:
+                    self.rip_index[rip] = (p["vip"], p["dst"])
+        # set_weight has no volatile bookkeeping.
+
+    def _complete(self, rec: "JournalRecord"):
+        """Finish an unsettled (INTENT/PREPARED) record after a crash."""
+        p = rec.payload
+        kind = rec.kind
+        if kind == "new_vip":
+            sw = self.switches.get(p["switch"])
+            if sw is None or sw.name in self.failed:
+                if self.vip_pool.is_allocated(p["vip"]):
+                    self.vip_pool.release(p["vip"])
+                self.rejected += 1
+                self._journal_settle(rec, OP_ABORTED)
+                return
+            yield self.env.timeout(self.reconfig_s)
+            self._apply_new_vip(rec.app, p["vip"], sw.name)
+            self._journal_settle(rec, OP_APPLIED)
+        elif kind == "new_rip":
+            sw = self.switches.get(p["switch"])
+            if sw is None or sw.name in self.failed or not sw.has_vip(p["vip"]):
+                self.rejected += 1
+                self._journal_settle(rec, OP_ABORTED)
+                return
+            yield self.env.timeout(self.reconfig_s)
+            self._apply_new_rip(p["vip"], p["rip"], p.get("weight", 1.0), sw.name)
+            self._journal_settle(rec, OP_APPLIED)
+        elif kind == "del_vip":
+            yield self.env.timeout(self.reconfig_s)
+            removed = self._apply_del_vip(rec.app, p["vip"], p["switch"])
+            self._journal_settle(rec, OP_APPLIED, rips=removed)
+        elif kind == "del_rip":
+            yield self.env.timeout(self.reconfig_s)
+            self._apply_del_rip(p["vip"], p["rip"], p["switch"])
+            self._journal_settle(rec, OP_APPLIED)
+        elif kind == "set_weight":
+            sw = self.switches.get(p["switch"])
+            if (
+                sw is None
+                or not sw.has_vip(p["vip"])
+                or p["rip"] not in sw.entry(p["vip"]).rips
+            ):
+                self.rejected += 1
+                self._journal_settle(rec, OP_ABORTED)
+                return
+            yield self.env.timeout(self.reconfig_s)
+            sw.set_rip_weight(p["vip"], p["rip"], p["weight"])
+            self._journal_settle(rec, OP_APPLIED)
+        elif kind == "move_vip":
+            yield from self._complete_move(rec)
+        else:
+            raise UnknownRequestKind(kind)
+
+    def _complete_move(self, rec: "JournalRecord"):
+        p = rec.payload
+        vip = p["vip"]
+        src = self.switches.get(p["src"])
+        # Idempotence first: if the VIP already sits on some switch (the
+        # move finished another way, or a repair landed it), adopt that
+        # placement instead of installing a duplicate.
+        landed = next(
+            (
+                sw
+                for _, sw in sorted(self.switches.items())
+                if sw is not src and sw.has_vip(vip)
+            ),
+            None,
+        )
+        if rec.phase is OP_PREPARED:
+            # The entry left the source before the crash; the VIP is on
+            # neither switch unless someone re-landed it meanwhile.
+            entry = VipEntry(vip=vip, app=p["entry_app"], rips=dict(p["entry_rips"]))
+            if src is not None and src.has_vip(vip):
+                landed = src
+            if landed is not None:
+                # Merge the journaled RIPs the re-landed entry may lack.
+                existing = landed.entry(vip)
+                for rip, weight in sorted(entry.rips.items()):
+                    if rip not in existing.rips and landed.rip_slots_free > 0:
+                        landed.add_rip(vip, rip, weight)
+                self._apply_move_bookkeeping(rec.app, vip, landed.name, entry.rips)
+                self._journal_settle(rec, OP_APPLIED, dst=landed.name)
+                if self.on_vip_moved is not None:
+                    self.on_vip_moved(vip, landed.name)
+                return
+            # Honor the decision pinned at journal time; re-decide only if
+            # the chosen target can no longer take the entry.
+            target = self.switches.get(p.get("dst"))
+            if target is not None and (
+                target.name in self.failed
+                or target.vip_slots_free <= 0
+                or target.rip_slots_free < len(entry.rips)
+            ):
+                target = None
+            if target is None:
+                exclude = {src.name} if src is not None else set()
+                target = self._pick_install_target(entry, exclude=exclude)
+            if target is None and src is not None:
+                target = src  # better half-alive than stranded
+            if target is None:
+                self.rejected += 1
+                self._journal_settle(rec, OP_ABORTED)
+                return
+            yield self.env.timeout(self.reconfig_s)
+            target.install_entry(entry)
+            self._apply_move_bookkeeping(rec.app, vip, target.name, entry.rips)
+            self._journal_settle(rec, OP_APPLIED, dst=target.name)
+            if self.on_vip_moved is not None:
+                self.on_vip_moved(vip, target.name)
+            return
+        # INTENT: the destructive half never ran.  Already moved elsewhere?
+        if landed is not None and (src is None or not src.has_vip(vip)):
+            self._apply_move_bookkeeping(
+                rec.app, vip, landed.name, landed.entry(vip).rips
+            )
+            self._journal_settle(rec, OP_APPLIED, dst=landed.name)
+            if self.on_vip_moved is not None:
+                self.on_vip_moved(vip, landed.name)
+            return
+        # Otherwise the source must still hold it; redo the whole move.
+        if src is None or not src.has_vip(vip):
+            self.rejected += 1
+            self._journal_settle(rec, OP_ABORTED)
+            return
+        entry = src.entry(vip)
+        target = self._pick_install_target(entry, exclude={src.name})
+        if target is None:
+            self.rejected += 1
+            self._journal_settle(rec, OP_ABORTED)
+            return
+        yield self.env.timeout(self.reconfig_s)
+        moved = src.remove_vip(vip)
+        target.install_entry(moved)
+        self._apply_move_bookkeeping(rec.app, vip, target.name, moved.rips)
+        self._journal_settle(rec, OP_APPLIED, dst=target.name)
+        if self.on_vip_moved is not None:
+            self.on_vip_moved(vip, target.name)
+
+    def _pick_install_target(self, entry: VipEntry, exclude: set[str]):
+        candidates = [
+            s
+            for s in self.switches.values()
+            if s.name not in self.failed
+            and s.name not in exclude
+            and s.vip_slots_free > 0
+            and s.rip_slots_free >= len(entry.rips)
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda s: (s.utilization, s.name))
+
+    #: Explicit dispatch table — an unknown kind raises
+    #: :class:`UnknownRequestKind` instead of an opaque ``AttributeError``
+    #: from a ``getattr`` probe.
+    _HANDLERS = {
+        "new_vip": _do_new_vip,
+        "new_rip": _do_new_rip,
+        "del_vip": _do_del_vip,
+        "del_rip": _do_del_rip,
+        "set_weight": _do_set_weight,
+        "move_vip": _do_move_vip,
+    }

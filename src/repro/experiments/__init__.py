@@ -25,6 +25,8 @@ __all__ = [
     "e10_two_layer",
     "e11_vip_tradeoff",
     "e12_quality",
+    "e13_failure_recovery",
+    "e14_control_plane",
 ]
 
 

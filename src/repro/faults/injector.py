@@ -53,6 +53,8 @@ class FaultInjector:
             FaultKind.SWITCH_RECOVER: self.dc.recover_switch,
             FaultKind.LINK_DOWN: self.dc.fail_link,
             FaultKind.LINK_UP: self.dc.recover_link,
+            FaultKind.MANAGER_CRASH: self.dc.crash_manager,
+            FaultKind.MANAGER_RECOVER: self.dc.recover_manager,
         }[ev.kind]
         done = handler(ev.target)
         if ev.kind.is_failure:

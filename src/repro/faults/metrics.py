@@ -10,13 +10,10 @@ of the schedule, not an outcome.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import Optional
 
 from repro.analysis.reporting import Table
 from repro.sim.monitor import Tally
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.faults.schedule import FaultEvent
 
 
 @dataclass
@@ -44,6 +41,15 @@ class RecoveryMonitor:
     records: list[FaultRecord] = field(default_factory=list)
     #: Demand-seconds lost while traffic black-holed (Gb, i.e. Gbps*s).
     dropped_gb: float = 0.0
+    #: Queued/in-flight reconfigurations dropped by control-plane crashes.
+    lost_reconfigurations: int = 0
+    #: Drift instances the anti-entropy reconciler found / repaired.
+    drift_detected: int = 0
+    drift_repaired: int = 0
+    #: Drift-to-clean convergence intervals of the reconciler (seconds).
+    convergence_s: Tally = field(
+        default_factory=lambda: Tally("reconciler-convergence")
+    )
     _open: dict[tuple[str, str], FaultRecord] = field(default_factory=dict)
     _mttr: dict[str, Tally] = field(default_factory=dict)
 
@@ -69,6 +75,19 @@ class RecoveryMonitor:
     def note_dropped(self, gbps: float, dt_s: float) -> None:
         """Called by the epoch loop with the black-holed demand rate."""
         self.dropped_gb += gbps * dt_s
+
+    def note_lost_reconfigurations(self, n: int) -> None:
+        """Called by the facade when a manager crash drops queued work."""
+        self.lost_reconfigurations += n
+
+    def note_drift(self, detected: int, repaired: int) -> None:
+        """Called by the anti-entropy reconciler after a drifty pass."""
+        self.drift_detected += detected
+        self.drift_repaired += repaired
+
+    def note_convergence(self, dt_s: float) -> None:
+        """Called by the reconciler on the first clean pass after drift."""
+        self.convergence_s.observe(dt_s)
 
     # -- views --------------------------------------------------------------
     @property
@@ -103,4 +122,19 @@ class RecoveryMonitor:
             table.add_note(f"no response recorded for {r.kind} {r.target}")
         table.add_note(f"demand dropped during blackouts: {self.dropped_gb:.1f} Gb")
         table.add_note(f"reconfiguration retries: {reconfig_retries}")
+        if self.lost_reconfigurations:
+            table.add_note(
+                f"reconfigurations lost to manager crashes: "
+                f"{self.lost_reconfigurations}"
+            )
+        if self.drift_detected:
+            table.add_note(
+                f"anti-entropy drift: {self.drift_detected} detected, "
+                f"{self.drift_repaired} repaired"
+            )
+        if self.convergence_s.count:
+            table.add_note(
+                f"reconciler convergence: mean {self.convergence_s.mean:.1f} s, "
+                f"max {self.convergence_s.maximum:.1f} s"
+            )
         return table

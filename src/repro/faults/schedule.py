@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Sequence
 
 from repro.sim.rng import RngHub
 
@@ -26,6 +26,11 @@ class FaultKind(str, enum.Enum):
     SWITCH_RECOVER = "switch_recover"
     LINK_DOWN = "link_down"
     LINK_UP = "link_up"
+    #: The control plane itself dies: the serialized VIP/RIP manager loses
+    #: its queue and volatile registries mid-operation.  Recovery is
+    #: journal replay (``repro.controlplane``), not hardware repair.
+    MANAGER_CRASH = "manager_crash"
+    MANAGER_RECOVER = "manager_recover"
 
     @property
     def is_failure(self) -> bool:
@@ -33,6 +38,7 @@ class FaultKind(str, enum.Enum):
             FaultKind.SERVER_CRASH,
             FaultKind.SWITCH_FAIL,
             FaultKind.LINK_DOWN,
+            FaultKind.MANAGER_CRASH,
         )
 
     @property
@@ -42,7 +48,7 @@ class FaultKind(str, enum.Enum):
 
     @property
     def fault_class(self) -> str:
-        """Metric bucket: ``server`` / ``switch`` / ``link``."""
+        """Metric bucket: ``server`` / ``switch`` / ``link`` / ``manager``."""
         return self.value.split("_")[0]
 
 
@@ -50,6 +56,7 @@ _RECOVERY_OF = {
     FaultKind.SERVER_CRASH: FaultKind.SERVER_RECOVER,
     FaultKind.SWITCH_FAIL: FaultKind.SWITCH_RECOVER,
     FaultKind.LINK_DOWN: FaultKind.LINK_UP,
+    FaultKind.MANAGER_CRASH: FaultKind.MANAGER_RECOVER,
 }
 
 

@@ -74,6 +74,11 @@ class Tally:
         return self._n
 
     @property
+    def total(self) -> float:
+        """Sum of all observations (0.0 when empty)."""
+        return self._mean * self._n
+
+    @property
     def mean(self) -> float:
         return self._mean if self._n else math.nan
 

@@ -1,0 +1,88 @@
+"""Unit tests for the write-ahead journal and checkpoint store."""
+
+import pytest
+
+from repro.controlplane import (
+    CheckpointStore,
+    OpPhase,
+    WriteAheadJournal,
+)
+
+
+# -- journal ---------------------------------------------------------------
+def test_epochs_monotonic_and_never_reused():
+    j = WriteAheadJournal()
+    a = j.append("new_vip", "app-a", vip="203.0.0.1")
+    b = j.append("new_rip", "app-a", rip="10.0.0.1")
+    assert (a.epoch, b.epoch) == (1, 2)
+    j.mark(a, OpPhase.APPLIED)
+    j.mark(b, OpPhase.APPLIED)
+    j.truncate_through(2)
+    assert len(j) == 0
+    # truncation must not recycle epochs: fencing depends on it
+    c = j.append("del_vip", "app-a", vip="203.0.0.1")
+    assert c.epoch == 3
+    assert j.last_epoch == 3
+
+
+def test_mark_merges_payload_and_settled_guard():
+    j = WriteAheadJournal()
+    rec = j.append("move_vip", "app", vip="203.0.0.1", src="lb-0")
+    j.mark(rec, OpPhase.PREPARED, dst="lb-1", entry_rips={"10.0.0.1": 1.0})
+    assert rec.payload["src"] == "lb-0"
+    assert rec.payload["dst"] == "lb-1"
+    assert not rec.settled
+    j.mark(rec, OpPhase.APPLIED)
+    assert rec.settled
+    # a settled record is immutable except for idempotent re-marks
+    j.mark(rec, OpPhase.APPLIED)  # same phase: fine
+    with pytest.raises(ValueError, match="already settled"):
+        j.mark(rec, OpPhase.ABORTED)
+
+
+def test_truncate_keeps_unsettled_records():
+    j = WriteAheadJournal()
+    settled = j.append("new_vip", "a")
+    pending = j.append("move_vip", "a", vip="v")
+    j.mark(settled, OpPhase.APPLIED)
+    j.mark(pending, OpPhase.PREPARED)
+    dropped = j.truncate_through(j.last_epoch)
+    assert dropped == 1
+    # the unsettled record is the recovery frontier; it must survive
+    assert [r.epoch for r in j] == [pending.epoch]
+    assert j.unsettled == [pending]
+
+
+def test_tail_is_epoch_ordered_and_fenced():
+    j = WriteAheadJournal()
+    recs = [j.append("new_vip", f"app-{i}") for i in range(4)]
+    assert [r.epoch for r in j.tail(0)] == [1, 2, 3, 4]
+    assert [r.epoch for r in j.tail(2)] == [3, 4]
+    assert j.tail(recs[-1].epoch) == []
+
+
+# -- checkpoints -----------------------------------------------------------
+def test_checkpoint_restore_is_a_deep_copy():
+    store = CheckpointStore()
+    registry = {"app": {"203.0.0.1": "lb-0"}}
+    rip_index = {"10.0.0.1": ("203.0.0.1", "lb-0")}
+    store.capture(5, 100.0, registry, rip_index, state={"vips": {}})
+    # mutating the live registries must not corrupt the checkpoint
+    registry["app"]["203.0.0.1"] = "lb-9"
+    rip_index.clear()
+    assert store.restore_registry() == {"app": {"203.0.0.1": "lb-0"}}
+    assert store.restore_rip_index() == {"10.0.0.1": ("203.0.0.1", "lb-0")}
+    # and mutating a restore must not corrupt the next restore
+    store.restore_registry()["app"]["203.0.0.1"] = "lb-7"
+    assert store.restore_registry()["app"]["203.0.0.1"] == "lb-0"
+
+
+def test_checkpoint_epoch_regression_rejected():
+    store = CheckpointStore()
+    assert store.epoch == 0
+    store.capture(5, 1.0, {}, {})
+    with pytest.raises(ValueError, match="precedes"):
+        store.capture(4, 2.0, {}, {})
+    assert store.epoch == 5
+    assert store.taken == 1
+    assert store.history_epochs == [5]

@@ -1,0 +1,147 @@
+"""Anti-entropy reconciler: every drift class detected and repaired."""
+
+import pytest
+
+from repro.core import MegaDataCenter, PlatformConfig
+from repro.core.viprip import VipRipRequest
+from repro.sim import RngHub
+from repro.workload import WorkloadBuilder
+
+
+@pytest.fixture()
+def dc():
+    apps = WorkloadBuilder(
+        n_apps=8, total_gbps=4.0, diurnal_fraction=0.0, rng_hub=RngHub(7)
+    ).build()
+    dc = MegaDataCenter(
+        apps,
+        config=PlatformConfig(),
+        n_pods=2,
+        servers_per_pod=6,
+        n_switches=3,
+        crash_safe_manager=True,
+    )
+    dc.run(100.0)  # steady state; reconciler has seen clean passes
+    assert dc.reconciler.run_pass().clean
+    return dc
+
+
+def some_vip(dc):
+    vip = sorted(dc.state.vips)[0]
+    info = dc.state.vips[vip]
+    return vip, info, dc.switches[info.switch]
+
+
+def test_stranded_vip_recreated(dc):
+    vip, info, sw = some_vip(dc)
+    sw.remove_vip(vip)
+    report = dc.reconciler.run_pass()
+    assert report.vip_missing == 1
+    assert report.repaired >= 1
+    assert any(s.has_vip(vip) for s in dc.switches.values())
+    # registry follows the repair
+    assert dc.switches[dc.state.vips[vip].switch].has_vip(vip)
+    assert dc.reconciler.run_pass().clean
+
+
+def test_misplaced_vip_realigns_registry(dc):
+    vip, info, sw = some_vip(dc)
+    other = next(
+        s
+        for name, s in sorted(dc.switches.items())
+        if name != sw.name and s.vip_slots_free > 0
+    )
+    other.install_entry(sw.remove_vip(vip))
+    report = dc.reconciler.run_pass()
+    assert report.vip_misplaced == 1
+    # the data plane is authoritative: registry realigned to the table
+    assert dc.state.vips[vip].switch == other.name
+    assert dc.reconciler.run_pass().clean
+
+
+def test_duplicate_vip_pruned(dc):
+    vip, info, sw = some_vip(dc)
+    other = next(
+        s
+        for name, s in sorted(dc.switches.items())
+        if name != sw.name and s.vip_slots_free > 0
+    )
+    other.add_vip(vip, info.app)
+    report = dc.reconciler.run_pass()
+    assert report.vip_duplicate == 1
+    holders = [s for s in dc.switches.values() if s.has_vip(vip)]
+    assert len(holders) == 1 and holders[0] is sw  # intended placement kept
+
+
+def test_missing_rip_refilled(dc):
+    vip, info, sw = some_vip(dc)
+    rip = sorted(sw.entry(vip).rips)[0]
+    sw.remove_rip(vip, rip)
+    report = dc.reconciler.run_pass()
+    assert report.rip_missing >= 1
+    assert rip in sw.entry(vip).rips
+    assert dc.reconciler.run_pass().clean
+
+
+def test_orphan_rip_collected(dc):
+    vip, info, sw = some_vip(dc)
+    sw.add_rip(vip, "rip-ghost", 1.0)
+    report = dc.reconciler.run_pass()
+    assert report.rip_orphaned == 1
+    assert "rip-ghost" not in sw.entry(vip).rips
+    assert dc.reconciler.run_pass().clean
+
+
+def test_stale_manager_index_repaired(dc):
+    rip = sorted(dc.viprip.rip_index)[0]
+    vip, switch_name = dc.viprip.rip_index[rip]
+    dc.viprip.rip_index[rip] = (vip, "lb-nonexistent")
+    report = dc.reconciler.run_pass()
+    assert report.index_stale == 1
+    assert dc.viprip.rip_index[rip] == (vip, switch_name)
+    assert dc.reconciler.run_pass().clean
+
+
+def test_busy_vips_are_not_touched(dc):
+    vip, info, sw = some_vip(dc)
+    sw.remove_vip(vip)  # would normally read as "stranded"
+    req = VipRipRequest("move_vip", info.app, vip=vip)
+    dc.viprip._inflight = req  # a legitimate move owns this VIP
+    try:
+        report = dc.reconciler.run_pass()
+        assert report.vip_missing == 0  # deferred, not drift
+        assert not any(s.has_vip(vip) for s in dc.switches.values())
+    finally:
+        dc.viprip._inflight = None
+        dc.reconciler.run_pass()  # now it repairs
+
+
+def test_pass_skipped_while_manager_down(dc):
+    vip, info, sw = some_vip(dc)
+    sw.remove_vip(vip)
+    passes = dc.reconciler.passes
+    dc.viprip.crash()
+    report = dc.reconciler.run_pass()
+    assert report.notes and "recovery owns the state" in report.notes[0]
+    assert dc.reconciler.passes == passes  # skipped passes don't count
+    assert not any(s.has_vip(vip) for s in dc.switches.values())
+
+
+def test_detector_only_mode_repairs_nothing(dc):
+    dc.reconciler.repair = False
+    vip, info, sw = some_vip(dc)
+    sw.add_rip(vip, "rip-ghost", 1.0)
+    report = dc.reconciler.run_pass()
+    assert report.rip_orphaned == 1 and report.repaired == 0
+    assert "rip-ghost" in sw.entry(vip).rips
+
+
+def test_convergence_interval_recorded(dc):
+    vip, info, sw = some_vip(dc)
+    rip = sorted(sw.entry(vip).rips)[0]
+    sw.remove_rip(vip, rip)
+    before = len(dc.reconciler.convergence_times)
+    dc.run(dc.env.now + 2.5 * dc.reconciler.interval_s)
+    assert len(dc.reconciler.convergence_times) > before
+    assert dc.reconciler.converged
+    assert dc.reconciler.last_convergence_s <= 2 * dc.reconciler.interval_s

@@ -156,3 +156,57 @@ def test_busy_time_accounted():
     done = mgr.submit(VipRipRequest("new_vip", "a"))
     env.run(until=done)
     assert mgr.busy_s >= 2.0
+
+
+# -- error containment (the queue-wedge regression) ------------------------
+def test_handler_exception_does_not_wedge_the_queue():
+    """A request whose handler blows up must fail its own done event and
+    leave the serialized processor alive for everyone queued behind it."""
+    env, switches, mgr = build(reconfig_s=1.0)
+
+    def exploding_handler(self, req):
+        yield self.env.timeout(0.1)
+        raise RuntimeError("boom")
+
+    mgr._HANDLERS = {**VipRipManager._HANDLERS, "new_vip": exploding_handler}
+    bad = mgr.submit(VipRipRequest("new_vip", "doomed"))
+    good = mgr.submit(VipRipRequest("new_rip", "doomed", rip="10.0.0.1"))
+    env.run(until=good)
+    assert bad.triggered and not bad.ok
+    assert isinstance(bad.value, RuntimeError) and "boom" in str(bad.value)
+    assert mgr.errored == 1
+    assert good.triggered  # the queue kept draining past the bad request
+    assert mgr.processed == 1
+
+
+def test_unknown_kind_raises_typed_error_not_attribute_error():
+    from repro.core.viprip import UnknownRequestKind
+
+    env, switches, mgr = build()
+    req = VipRipRequest("new_vip", "app")
+    req.kind = "frobnicate"  # bypasses construction-time validation
+    done = mgr.submit(req)
+    env.run()
+    assert done.triggered and not done.ok
+    assert isinstance(done.value, UnknownRequestKind)
+    assert "frobnicate" in str(done.value)
+    # and the processor survived the poison request
+    ok = mgr.submit(VipRipRequest("new_vip", "app"))
+    env.run(until=ok)
+    assert ok.value is not None
+
+
+def test_switch_of_vip_raises_typed_error():
+    from repro.core.viprip import UnknownVipError
+
+    env, switches, mgr = build()
+    done = mgr.submit(VipRipRequest("new_vip", "app"))
+    env.run(until=done)
+    vip, switch_name = done.value
+    assert mgr.switch_of_vip("app", vip).name == switch_name
+    with pytest.raises(UnknownVipError, match="no VIP"):
+        mgr.switch_of_vip("app", "198.51.100.99")
+    with pytest.raises(UnknownVipError, match="unknown-app"):
+        mgr.switch_of_vip("unknown-app", vip)
+    # UnknownVipError subclasses KeyError so legacy except-clauses hold
+    assert issubclass(UnknownVipError, KeyError)

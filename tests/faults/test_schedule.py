@@ -135,3 +135,41 @@ def test_scripted_basic_shape():
     assert sched.events[0].t == 300.0
     with pytest.raises(ValueError):
         FaultSchedule.scripted_basic("lb-1", [])
+
+
+# -- the manager_crash fault class (control-plane crash safety) ------------
+def test_manager_crash_is_a_failure_with_manager_class():
+    assert FaultKind.MANAGER_CRASH.is_failure
+    assert not FaultKind.MANAGER_RECOVER.is_failure
+    assert FaultKind.MANAGER_CRASH.fault_class == "manager"
+    assert FaultKind.MANAGER_CRASH.recovery is FaultKind.MANAGER_RECOVER
+
+
+def test_manager_crash_recover_cycle_validates():
+    sched = FaultSchedule.from_events(
+        [
+            (10.0, "manager_crash", "viprip"),
+            (40.0, "manager_recover", "viprip"),
+            (80.0, "manager_crash", "viprip"),
+        ]
+    )
+    assert [e.kind for e in sched] == [
+        FaultKind.MANAGER_CRASH,
+        FaultKind.MANAGER_RECOVER,
+        FaultKind.MANAGER_CRASH,
+    ]
+
+
+def test_manager_recover_without_crash_rejected():
+    with pytest.raises(ValueError, match="never failed"):
+        FaultSchedule.from_events([(10.0, "manager_recover", "viprip")])
+
+
+def test_double_manager_crash_rejected():
+    with pytest.raises(ValueError, match="already down"):
+        FaultSchedule.from_events(
+            [
+                (10.0, "manager_crash", "viprip"),
+                (20.0, "manager_crash", "viprip"),
+            ]
+        )

@@ -79,3 +79,20 @@ def test_faults_command():
     assert code == 0  # exit code 0 iff the scenario recovered
     assert "failure recovery" in out
     assert "scenario recovered: True" in out
+
+
+def test_controlplane_command():
+    code, out, _ = run_main(
+        ["controlplane", "--seed", "42", "--checkpoint-interval", "60"]
+    )
+    assert code == 0  # exit code 0 iff replay + reconciliation succeeded
+    assert "control-plane crash safety" in out
+    assert "scenario recovered: True" in out
+    # per-class MTTR: the manager row sits alongside the hardware classes
+    assert "manager" in out and "switch" in out
+
+
+def test_controlplane_rejects_too_short_duration():
+    code, _, err = run_main(["controlplane", "--duration", "100"])
+    assert code == 2
+    assert "too short" in err
