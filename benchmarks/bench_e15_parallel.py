@@ -1,0 +1,25 @@
+"""E15 — parallel pod-epoch scaling benchmark.
+
+Regenerates: epoch wall time for the pod-epoch placement engine as worker
+count grows.  The correctness claim (parallel placements byte-identical to
+serial) must hold on any host; the speedup column is hardware-dependent
+and only materializes with cores > 1.
+"""
+
+from conftest import emit
+
+from repro.experiments import e15_parallel_scaling
+
+
+def test_e15_parallel_scaling(benchmark):
+    result = benchmark.pedantic(
+        lambda: e15_parallel_scaling.run(
+            pod_counts=(4, 8), workers_list=(1, 2, 4), pod_size=20, epochs=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit([result.table()], "e15_parallel_scaling")
+    # Determinism contract: every worker count reproduces serial exactly.
+    assert result.all_identical()
+    assert len(result.rows) == 6

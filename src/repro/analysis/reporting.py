@@ -47,6 +47,17 @@ class Table:
         print(self.render())
 
 
+def table_to_dict(table: "Table") -> dict:
+    """Machine-readable form of a table (cells keep the rendered strings,
+    so the JSON mirrors the .txt output exactly)."""
+    return {
+        "title": table.title,
+        "columns": list(table.columns),
+        "rows": [list(row) for row in table.rows],
+        "notes": list(table.notes),
+    }
+
+
 def _fmt(value: Any) -> str:
     if isinstance(value, float):
         if value == 0:

@@ -9,6 +9,7 @@ Usage::
     python -m repro quickstart              # build + run a small platform
     python -m repro faults --seed 42        # scripted failure-recovery scenario
     python -m repro controlplane --seed 42  # manager crash + journal replay
+    python -m repro bench --quick           # pinned perf workloads -> BENCH_*.json
 """
 
 from __future__ import annotations
@@ -34,6 +35,7 @@ EXPERIMENTS: dict[str, tuple[str, str, dict, str]] = {
     "e12": ("e12_quality", "run", {}, "placement quality comparison"),
     "e13": ("e13_failure_recovery", "run", {}, "fault injection + graceful recovery"),
     "e14": ("e14_control_plane", "run", {}, "control-plane crash safety + anti-entropy"),
+    "e15": ("e15_parallel_scaling", "run", {}, "parallel pod-epoch scaling sweep"),
     "a1": ("ablations", "run_pod_size", {}, "ablation: pod size"),
     "a2": ("ablations", "run_drain_ablation", {}, "ablation: K2 drain-first"),
     "a3": ("ablations", "run_damping_ablation", {}, "ablation: K1 damping"),
@@ -196,6 +198,36 @@ def main(argv: list[str] | None = None) -> int:
         metavar="SECONDS",
         help="checkpoint interval to sweep (repeatable; default 60/240/960)",
     )
+    bench_p = sub.add_parser(
+        "bench",
+        help="run pinned perf workloads; writes BENCH_placement.json / "
+        "BENCH_network.json",
+    )
+    bench_p.add_argument(
+        "--quick",
+        action="store_true",
+        help="small fixtures only (the CI smoke lane)",
+    )
+    bench_p.add_argument(
+        "--out", default=".", metavar="DIR", help="where to write BENCH_*.json"
+    )
+    bench_p.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="parallel engine width for the pod-epoch workload",
+    )
+    bench_p.add_argument(
+        "--baseline",
+        metavar="DIR",
+        help="directory holding baseline BENCH_*.json to gate against",
+    )
+    bench_p.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="fail if any guarded wall time exceeds baseline x this ratio",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -211,6 +243,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "controlplane":
         return cmd_controlplane(
             args.seed, args.duration, args.checkpoint_intervals
+        )
+    if args.command == "bench":
+        from repro.perf.bench import cmd_bench
+
+        return cmd_bench(
+            quick=args.quick,
+            out_dir=args.out,
+            workers=args.workers,
+            baseline=args.baseline,
+            max_regression=args.max_regression,
         )
     ids = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     unknown = [e for e in ids if e not in EXPERIMENTS]

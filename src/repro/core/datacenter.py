@@ -35,7 +35,8 @@ from repro.controlplane import AntiEntropyReconciler, CheckpointStore, WriteAhea
 from repro.core.config import PlatformConfig
 from repro.core.global_manager import GlobalManager
 from repro.core.pod import Pod
-from repro.core.pod_manager import PodManager, PodReport
+from repro.core.pod_manager import EpochPlan, PodManager, PodReport
+from repro.perf.engine import PlacementEngine, PlacementTask, derive_seed
 from repro.core.state import PlatformState
 from repro.dns.authority import AuthoritativeDNS
 from repro.dns.policy import ExposurePolicy
@@ -83,10 +84,18 @@ class MegaDataCenter:
         serialized_reconfig: bool = False,
         crash_safe_manager: bool = False,
         topology: Optional["PortLand"] = None,
+        parallelism: int = 1,
+        engine: Optional[PlacementEngine] = None,
     ):
         if not apps:
             raise ValueError("need at least one application")
         self.config = config if config is not None else PlatformConfig()
+        # Pod epochs are embarrassingly parallel (Section III-A): the pure
+        # solve stage of every pod fans across the engine's persistent
+        # worker pool; parallelism=1 is the exact serial fallback.  A
+        # shared engine can be passed in (the caller then owns its pool).
+        self._owns_engine = engine is None
+        self.engine = engine if engine is not None else PlacementEngine(parallelism)
         # Crash safety only makes sense for the serialized control plane:
         # it journals the VIP/RIP manager's operations and runs the
         # anti-entropy reconciler against its registries.
@@ -327,11 +336,45 @@ class MegaDataCenter:
                 pod_demand[pod][app_id] = pod_demand[pod].get(app_id, 0.0) + max(
                     share, 1e-6
                 )
-        for pod, demand in pod_demand.items():
-            if demand:
-                self.pod_managers[pod].run_epoch(demand, self.specs, t=0.0)
+        self._solve_and_apply_epochs(
+            {p: d for p, d in pod_demand.items() if d}, t=0.0, epoch_tag="boot"
+        )
         for app_id in self.specs:
             self._ensure_exposure(app_id)
+
+    def _solve_and_apply_epochs(
+        self, pod_demand: dict[str, dict[str, float]], t: float, epoch_tag
+    ) -> list[PodReport]:
+        """Run one placement epoch for *pod_demand*'s pods through the
+        engine: prepare all plans, fan the pure solves out, then apply in
+        sorted pod order (the same order the serial loop used, so the
+        merge is deterministic)."""
+        names = sorted(pod_demand)
+        plans: list[EpochPlan] = []
+        tasks: list[PlacementTask] = []
+        for name in names:
+            manager = self.pod_managers[name]
+            plan = manager.prepare_epoch(dict(pod_demand[name]), self.specs, t=t)
+            plans.append(plan)
+            tasks.append(
+                PlacementTask(
+                    key=name,
+                    problem=plan.problem,
+                    controller=manager.controller,
+                    # Randomized controllers get a stable per-(pod, epoch)
+                    # seed so parallel == serial bit-for-bit.
+                    seed=(
+                        derive_seed(name, epoch_tag)
+                        if hasattr(manager.controller, "rng")
+                        else None
+                    ),
+                )
+            )
+        solutions = self.engine.solve_batch(tasks)
+        return [
+            self.pod_managers[name].apply_epoch(plan, solution, self.specs)
+            for name, plan, solution in zip(names, plans, solutions)
+        ]
 
     # ---------------------------------------------------------------- RIP wiring
     def _wire_rip(self, vm: VM) -> None:
@@ -715,6 +758,18 @@ class MegaDataCenter:
         return self.rehome_retries + extra
 
     # ------------------------------------------------------------------- run
+    def close(self) -> None:
+        """Release the placement engine's worker pool (no-op when the
+        engine was passed in by the caller, who owns it)."""
+        if self._owns_engine:
+            self.engine.close()
+
+    def __enter__(self) -> "MegaDataCenter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def run(self, duration_s: float) -> None:
         """Advance the simulation by *duration_s* seconds."""
         if not self._started:
@@ -787,13 +842,13 @@ class MegaDataCenter:
         if self.recovery_monitor is not None:
             self.recovery_monitor.note_dropped(blackholed, self.config.epoch_s)
 
-        reports = []
-        for name in sorted(self.pod_managers):
-            report = self.pod_managers[name].run_epoch(
-                dict(pod_demand[name]), self.specs, t=t
-            )
-            reports.append(report)
-            self.pod_util[name].observe(report.utilization)
+        reports = self._solve_and_apply_epochs(
+            {name: dict(pod_demand[name]) for name in self.pod_managers},
+            t=t,
+            epoch_tag=self.epochs,
+        )
+        for report in reports:
+            self.pod_util[report.pod].observe(report.utilization)
         self.reports_history.append(reports)
 
         total_demand = sum(r.demand_cpu for r in reports)

@@ -29,6 +29,19 @@ from repro.workload.apps import AppSpec
 
 
 @dataclass
+class EpochPlan:
+    """The pure inputs of one pod epoch, split off so the solve stage can
+    run out-of-process (:mod:`repro.perf`): everything here except
+    ``servers`` is picklable, and only ``problem`` ships to a worker."""
+
+    apps: list[str]
+    assigned: dict[str, float]
+    t: float
+    problem: PlacementProblem
+    servers: list[PhysicalServer]
+
+
+@dataclass
 class PodReport:
     """What a pod manager tells the global manager after an epoch."""
 
@@ -95,20 +108,51 @@ class PodManager:
             Application specs (for per-instance memory etc.).  Must cover
             every app in *assigned_cpu* and every app with a VM here.
         """
+        plan = self.prepare_epoch(assigned_cpu, specs, t=t)
+        solution = self.controller.solve(plan.problem)
+        return self.apply_epoch(plan, solution, specs)
+
+    def prepare_epoch(
+        self,
+        assigned_cpu: Mapping[str, float],
+        specs: Mapping[str, AppSpec],
+        t: float = 0.0,
+    ) -> EpochPlan:
+        """Build the pure solve-stage inputs for one epoch.
+
+        The returned plan plus any ``PlacementSolution`` for its problem
+        can later be realized with :meth:`apply_epoch`; nothing may mutate
+        the pod's servers in between (the epoch loop solves and applies
+        within one simulation instant, so this holds by construction).
+        """
         servers = self.pod.servers
         apps = sorted(set(assigned_cpu) | self.pod.apps_covered())
         missing = [a for a in apps if a not in specs]
         if missing:
             raise KeyError(f"missing app specs: {missing}")
         problem = self._build_problem(servers, apps, assigned_cpu, specs)
-        solution = self.controller.solve(problem)
-        changes = self._apply(servers, apps, problem, solution, specs)
+        return EpochPlan(
+            apps=apps,
+            assigned=dict(assigned_cpu),
+            t=t,
+            problem=problem,
+            servers=servers,
+        )
+
+    def apply_epoch(
+        self,
+        plan: EpochPlan,
+        solution,
+        specs: Mapping[str, AppSpec],
+    ) -> PodReport:
+        """Realize a solved plan on the pod (the stateful apply stage)."""
+        changes = self._apply(plan.servers, plan.apps, plan.problem, solution, specs)
         self.epochs_run += 1
-        self._last_assigned = dict(assigned_cpu)
+        self._last_assigned = dict(plan.assigned)
         report = PodReport(
             pod=self.pod.name,
-            t=t,
-            demand_cpu=float(problem.total_demand),
+            t=plan.t,
+            demand_cpu=float(plan.problem.total_demand),
             satisfied_cpu=float(solution.satisfied().sum()),
             changes=changes,
             decision_time_s=solution.wall_time_s,

@@ -8,7 +8,7 @@ standard fluid approximation for load-balancing studies and is exactly the
 granularity at which the paper's claims live.
 """
 
-from repro.network.flows import Flow, FlowAllocation
+from repro.network.flows import Flow, FlowAllocation, FlowSet
 from repro.network.maxmin import maxmin_fair, weighted_maxmin_fair
 from repro.network.links import AccessLink, BorderRouter, InternetSide
 from repro.network.bgp import BGPAnnouncer, RouteUpdateLog
@@ -17,6 +17,7 @@ from repro.network.fabric import FabricModel
 __all__ = [
     "Flow",
     "FlowAllocation",
+    "FlowSet",
     "maxmin_fair",
     "weighted_maxmin_fair",
     "AccessLink",

@@ -64,11 +64,17 @@ def weighted_maxmin_fair(
     capacities: Sequence[float],
     demands: Optional[Sequence[float]] = None,
     weights: Optional[Sequence[float]] = None,
+    incidence: Optional[sparse.csr_matrix] = None,
 ) -> np.ndarray:
     """Weighted max–min fairness: link shares are proportional to weights.
 
     With all weights equal this reduces to plain max–min fairness.  Used by
     the LB switches: RIP weight adjustment (knob K6) reshapes these weights.
+
+    ``incidence`` lets a caller that re-solves the same route set (only
+    demands/weights change between control epochs) pass the prebuilt L x F
+    matrix instead of paying the O(nnz) rebuild — see
+    :class:`repro.network.flows.FlowAllocation`.
     """
     n_flows = len(routes)
     caps = np.asarray(capacities, dtype=float)
@@ -97,7 +103,14 @@ def weighted_maxmin_fair(
     if n_flows == 0:
         return np.zeros(0)
 
-    A = _incidence(routes, n_links)  # L x F
+    if incidence is not None:
+        A = incidence
+        if A.shape != (n_links, n_flows):
+            raise ValueError(
+                f"incidence must be {n_links}x{n_flows}, got {A.shape}"
+            )
+    else:
+        A = _incidence(routes, n_links)  # L x F
 
     rates = np.zeros(n_flows)
     active = np.ones(n_flows, dtype=bool)  # not yet frozen
@@ -161,8 +174,11 @@ def weighted_maxmin_fair(
 
 
 def link_loads(
-    routes: Sequence[Sequence[int]], rates: Sequence[float], n_links: int
+    routes: Sequence[Sequence[int]],
+    rates: Sequence[float],
+    n_links: int,
+    incidence: Optional[sparse.csr_matrix] = None,
 ) -> np.ndarray:
     """Per-link load implied by per-flow rates."""
-    A = _incidence(routes, n_links)
+    A = incidence if incidence is not None else _incidence(routes, n_links)
     return np.asarray(A @ np.asarray(rates, dtype=float)).ravel()

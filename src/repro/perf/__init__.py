@@ -1,0 +1,29 @@
+"""Performance engine: parallel pod-epoch placement and the bench harness.
+
+The paper's scalability argument (Sections I, III) is that logical pods
+make placement *embarrassingly parallel*: "each pod manager runs an
+existing centralized placement algorithm within its pod" independently.
+:class:`PlacementEngine` realizes that claim — the pure solve stage of
+every pod's epoch (:class:`PlacementProblem` in, ``PlacementSolution``
+out) is fanned across a persistent process pool, while the stateful apply
+stage (VM boots/stops, RIP wiring) stays in the main process in
+deterministic pod order, so results are bit-identical to the serial loop.
+
+``repro bench`` (:mod:`repro.perf.bench`) pins the placement/max-min/epoch
+workloads and writes ``BENCH_placement.json`` / ``BENCH_network.json`` so
+every later change has a machine-readable trajectory to beat.
+"""
+
+from repro.perf.engine import (
+    PlacementEngine,
+    PlacementTask,
+    derive_seed,
+    solve_placement_task,
+)
+
+__all__ = [
+    "PlacementEngine",
+    "PlacementTask",
+    "derive_seed",
+    "solve_placement_task",
+]

@@ -1,0 +1,435 @@
+"""``repro bench`` — pinned performance workloads with JSON trajectories.
+
+Runs fixed-seed placement and network workloads and writes
+``BENCH_placement.json`` / ``BENCH_network.json`` (wall times, speedups vs
+serial, solver iteration counts) so every later change has a baseline to
+beat.  Three roles:
+
+* **measure** — the E2-scale pod-epoch workload (>= 8 pods, per-pod Tang
+  controllers, drifting demand) through the serial and parallel engines,
+  Tang cold vs warm starts, the greedy/distributed solvers, and max-min
+  fairness with and without the cached incidence matrix;
+* **verify** — the parallel engine's placements must be byte-identical to
+  serial (the run fails otherwise);
+* **gate** — ``--baseline DIR`` compares guarded wall-time metrics against
+  a committed baseline and fails when any regresses more than
+  ``--max-regression`` (CI runs this on the quick fixtures).
+
+Quick fixtures are a subset of the full run (the full run includes them),
+so a committed full baseline also covers the CI quick lane's keys.  Wall
+times are hardware-dependent; speedups near 1.0 on single-core runners are
+expected and recorded honestly (``cpu_count`` is in the JSON).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.network.flows import Flow, FlowSet
+from repro.network.maxmin import weighted_maxmin_fair
+from repro.perf.engine import PlacementEngine, PlacementTask
+from repro.placement import (
+    DistributedController,
+    GreedyController,
+    PlacementProblem,
+    TangController,
+)
+
+SCHEMA = 1
+#: Wall-time metrics guarded by the regression gate.
+GUARDED_METRICS = (
+    "serial_wall_s",
+    "parallel_wall_s",
+    "cold_wall_s",
+    "warm_wall_s",
+    "cached_wall_s",
+    "wall_s",
+)
+
+BENCH_FILES = {
+    "placement": "BENCH_placement.json",
+    "network": "BENCH_network.json",
+}
+
+
+def _drift(demands: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Multiplicative lognormal drift, renormalized to constant total —
+    the small epoch-over-epoch delta warm starts exploit."""
+    factor = rng.lognormal(0.0, 0.25, size=demands.shape)
+    out = demands * factor
+    return out * demands.sum() / out.sum()
+
+
+def _demand_sequence(base: PlacementProblem, epochs: int, seed: int):
+    rng = np.random.default_rng(seed + 1)
+    seq = [base.app_cpu_demand]
+    for _ in range(epochs - 1):
+        seq.append(_drift(seq[-1], rng))
+    return seq
+
+
+def _run_pod_epochs(
+    base: PlacementProblem,
+    pods: list[PlacementProblem],
+    demand_seq,
+    engine: PlacementEngine,
+):
+    """Run the epoch sequence through *engine* with fresh per-pod Tang
+    controllers; returns (wall_s, placements, solver stats)."""
+    from repro.experiments.e02_placement_scalability import split_into_pods
+
+    controllers = [TangController() for _ in pods]
+    placements = [p.current.copy() for p in pods]
+    signatures = []
+    t0 = time.perf_counter()
+    for demand in demand_seq:
+        full = PlacementProblem(
+            server_cpu=base.server_cpu,
+            server_mem=base.server_mem,
+            app_cpu_demand=demand,
+            app_mem=base.app_mem,
+            current=np.vstack(placements),
+        )
+        epoch_pods = split_into_pods(full, pods[0].n_servers)
+        tasks = [
+            PlacementTask(key=f"pod-{i}", problem=p, controller=controllers[i])
+            for i, p in enumerate(epoch_pods)
+        ]
+        solutions = engine.solve_batch(tasks)
+        placements = [s.placement for s in solutions]
+        signatures.append(
+            [(s.placement.tobytes(), s.load.tobytes()) for s in solutions]
+        )
+    wall = time.perf_counter() - t0
+    stats = {
+        "maxflow_calls": sum(c.maxflow_calls for c in controllers),
+        "warm_seeded": sum(c.warm_seeded for c in controllers),
+    }
+    return wall, signatures, stats
+
+
+def bench_pod_epoch(
+    n_servers: int, pod_size: int, epochs: int, workers: int, seed: int = 0
+) -> tuple[str, dict]:
+    """The E2-scale parallel pod-epoch workload: serial vs *workers*."""
+    from repro.experiments.e02_placement_scalability import (
+        make_instance,
+        split_into_pods,
+    )
+
+    base = make_instance(n_servers, seed=seed)
+    pods = split_into_pods(base, pod_size)
+    demand_seq = _demand_sequence(base, epochs, seed)
+    with PlacementEngine(1) as serial:
+        serial_wall, serial_sigs, serial_stats = _run_pod_epochs(
+            base, pods, demand_seq, serial
+        )
+    with PlacementEngine(workers) as parallel:
+        parallel_wall, parallel_sigs, parallel_stats = _run_pod_epochs(
+            base, pods, demand_seq, parallel
+        )
+        pool_spawns = parallel.pool_spawns
+    wid = (
+        f"pod_epoch[servers={n_servers},pods={len(pods)},"
+        f"epochs={epochs},workers={workers}]"
+    )
+    return wid, {
+        "servers": n_servers,
+        "apps": base.n_apps,
+        "pods": len(pods),
+        "epochs": epochs,
+        "workers": workers,
+        "serial_wall_s": round(serial_wall, 4),
+        "parallel_wall_s": round(parallel_wall, 4),
+        "speedup": round(serial_wall / max(parallel_wall, 1e-9), 3),
+        "identical": serial_sigs == parallel_sigs,
+        "epoch_serial_s": round(serial_wall / epochs, 4),
+        "epoch_parallel_s": round(parallel_wall / epochs, 4),
+        "solver_iterations": serial_stats["maxflow_calls"],
+        "warm_seeded": serial_stats["warm_seeded"],
+        "warm_seeded_parallel": parallel_stats["warm_seeded"],
+        "pool_spawns": pool_spawns,
+    }
+
+
+def bench_tang_warm(n_servers: int, epochs: int, seed: int = 0) -> tuple[str, dict]:
+    """Tang cold start vs warm start over drifting-demand epochs."""
+    from repro.experiments.e02_placement_scalability import make_instance
+
+    base = make_instance(n_servers, seed=seed)
+    demand_seq = _demand_sequence(base, epochs, seed)
+    results = {}
+    satisfied = {}
+    for label, warm in (("cold", False), ("warm", True)):
+        controller = TangController(warm_start=warm)
+        placement = base.current.copy()
+        sats = []
+        t0 = time.perf_counter()
+        for demand in demand_seq:
+            problem = PlacementProblem(
+                server_cpu=base.server_cpu,
+                server_mem=base.server_mem,
+                app_cpu_demand=demand,
+                app_mem=base.app_mem,
+                current=placement,
+            )
+            sol = controller.solve(problem)
+            placement = sol.placement
+            sats.append(float(sol.satisfied().sum()))
+        results[label] = {
+            "wall_s": time.perf_counter() - t0,
+            "maxflow_calls": controller.maxflow_calls,
+            "warm_seeded": controller.warm_seeded,
+        }
+        satisfied[label] = sats
+    delta = max(
+        abs(c - w) for c, w in zip(satisfied["cold"], satisfied["warm"])
+    )
+    wid = f"tang_warm[servers={n_servers},epochs={epochs}]"
+    return wid, {
+        "servers": n_servers,
+        "epochs": epochs,
+        "cold_wall_s": round(results["cold"]["wall_s"], 4),
+        "warm_wall_s": round(results["warm"]["wall_s"], 4),
+        "warm_speedup": round(
+            results["cold"]["wall_s"] / max(results["warm"]["wall_s"], 1e-9), 3
+        ),
+        "cold_maxflow_calls": results["cold"]["maxflow_calls"],
+        "warm_maxflow_calls": results["warm"]["maxflow_calls"],
+        "warm_seeded": results["warm"]["warm_seeded"],
+        "satisfied_delta": float(delta),
+    }
+
+
+def bench_solver(kind: str, n_servers: int, seed: int = 0) -> tuple[str, dict]:
+    """Single-solve micro-bench of the greedy / distributed controllers."""
+    from repro.experiments.e02_placement_scalability import make_instance
+
+    problem = make_instance(n_servers, seed=seed)
+    if kind == "greedy":
+        controller = GreedyController()
+    else:
+        controller = DistributedController(rng=np.random.default_rng(seed))
+    t0 = time.perf_counter()
+    sol = controller.solve(problem)
+    wall = time.perf_counter() - t0
+    wid = f"{kind}_solve[servers={n_servers}]"
+    return wid, {
+        "servers": n_servers,
+        "apps": problem.n_apps,
+        "wall_s": round(wall, 4),
+        "satisfied": round(float(sol.satisfied().sum()), 3),
+    }
+
+
+def bench_maxmin(
+    n_flows: int, n_links: int, resolves: int, seed: int = 0
+) -> tuple[str, dict]:
+    """Max-min fairness re-solves: rebuilt vs cached incidence matrix."""
+    rng = np.random.default_rng(seed)
+    capacities = rng.uniform(5.0, 20.0, n_links)
+    routes = [
+        sorted(rng.choice(n_links, size=int(rng.integers(1, 4)), replace=False))
+        for _ in range(n_flows)
+    ]
+    demands = rng.uniform(0.1, 2.0, n_flows)
+    weights = rng.uniform(0.5, 2.0, n_flows)
+
+    t0 = time.perf_counter()
+    for _ in range(resolves):
+        cold_rates = weighted_maxmin_fair(
+            routes, capacities, demands=demands, weights=weights
+        )
+    cold_wall = time.perf_counter() - t0
+
+    flowset = FlowSet(capacities)
+    for i, route in enumerate(routes):
+        flowset.add(
+            Flow(key=i, links=tuple(route), demand_gbps=demands[i], weight=weights[i])
+        )
+    A = flowset.incidence  # built once, reused for every re-solve
+    t0 = time.perf_counter()
+    for _ in range(resolves):
+        cached_rates = weighted_maxmin_fair(
+            routes, capacities, demands=demands, weights=weights, incidence=A
+        )
+    cached_wall = time.perf_counter() - t0
+
+    wid = f"maxmin[flows={n_flows},links={n_links},resolves={resolves}]"
+    return wid, {
+        "flows": n_flows,
+        "links": n_links,
+        "resolves": resolves,
+        "cold_wall_s": round(cold_wall, 4),
+        "cached_wall_s": round(cached_wall, 4),
+        "speedup": round(cold_wall / max(cached_wall, 1e-9), 3),
+        "identical": bool(np.array_equal(cold_rates, cached_rates)),
+        "incidence_builds": flowset.incidence_builds,
+    }
+
+
+# ------------------------------------------------------------------ suites
+
+#: (workload fn, kwargs) per suite; quick fixtures run in both modes so the
+#: committed full baseline covers the CI quick lane's keys.
+QUICK_PLACEMENT = [
+    (bench_pod_epoch, dict(n_servers=160, pod_size=20, epochs=2, workers=4)),
+    (bench_tang_warm, dict(n_servers=100, epochs=3)),
+    (bench_solver, dict(kind="greedy", n_servers=200)),
+    (bench_solver, dict(kind="distributed", n_servers=200)),
+]
+FULL_PLACEMENT = QUICK_PLACEMENT + [
+    (bench_pod_epoch, dict(n_servers=400, pod_size=50, epochs=3, workers=4)),
+    (bench_tang_warm, dict(n_servers=160, epochs=4)),
+]
+QUICK_NETWORK = [
+    (bench_maxmin, dict(n_flows=1000, n_links=100, resolves=20)),
+]
+FULL_NETWORK = QUICK_NETWORK + [
+    (bench_maxmin, dict(n_flows=4000, n_links=300, resolves=20)),
+]
+
+
+def run_suite(suite: str, quick: bool, workers: Optional[int] = None) -> dict:
+    if suite == "placement":
+        fixtures = QUICK_PLACEMENT if quick else FULL_PLACEMENT
+    else:
+        fixtures = QUICK_NETWORK if quick else FULL_NETWORK
+    workloads = {}
+    for fn, kwargs in fixtures:
+        if workers is not None and "workers" in kwargs:
+            kwargs = {**kwargs, "workers": workers}
+        wid, metrics = fn(**kwargs)
+        workloads[wid] = metrics
+    return {
+        "schema": SCHEMA,
+        "suite": suite,
+        "quick": quick,
+        "cpu_count": os.cpu_count(),
+        "workloads": workloads,
+    }
+
+
+# ------------------------------------------------------- regression gating
+
+
+def compare_to_baseline(
+    current: dict, baseline: dict, max_ratio: float
+) -> list[str]:
+    """Guarded wall-time metrics of workloads present in both runs; returns
+    human-readable violations (empty = no regression)."""
+    violations = []
+    base_workloads = baseline.get("workloads", {})
+    for wid, metrics in current.get("workloads", {}).items():
+        base = base_workloads.get(wid)
+        if base is None:
+            continue
+        for key in GUARDED_METRICS:
+            if key not in metrics or key not in base:
+                continue
+            old, new = float(base[key]), float(metrics[key])
+            if old > 0 and new > old * max_ratio:
+                violations.append(
+                    f"{wid} {key}: {new:.4f}s vs baseline {old:.4f}s "
+                    f"(x{new / old:.2f} > x{max_ratio:.2f})"
+                )
+    return violations
+
+
+# ----------------------------------------------------------------- trends
+
+
+def trend_lines(results_dir: pathlib.Path) -> list[str]:
+    """Summarize the benchmark suite's machine-readable tables (the .json
+    files ``benchmarks/conftest.emit`` writes next to each .txt): every
+    wall-time-ish column's last-row value, as a cross-run trend anchor."""
+    lines = []
+    if not results_dir.is_dir():
+        return lines
+    for path in sorted(results_dir.glob("*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            continue
+        for table in payload.get("tables", []):
+            cols, rows = table.get("columns", []), table.get("rows", [])
+            if not rows:
+                continue
+            timings = [
+                f"{c}={rows[-1][i]}"
+                for i, c in enumerate(cols)
+                if "(s)" in c or c.endswith("_s")
+            ]
+            if timings:
+                lines.append(f"{payload.get('name', path.stem)}: {', '.join(timings)}")
+    return lines
+
+
+# -------------------------------------------------------------------- CLI
+
+
+def cmd_bench(
+    quick: bool,
+    out_dir: str,
+    workers: Optional[int],
+    baseline: Optional[str],
+    max_regression: float,
+    results_dir: Optional[str] = None,
+    out=None,
+) -> int:
+    import sys
+
+    out = out if out is not None else sys.stdout
+    out_path = pathlib.Path(out_dir)
+    out_path.mkdir(parents=True, exist_ok=True)
+    mode = "quick" if quick else "full"
+    print(
+        f"repro bench ({mode}, cpu_count={os.cpu_count()}) — "
+        "pinned placement + network workloads",
+        file=out,
+    )
+    failures = []
+    for suite, filename in BENCH_FILES.items():
+        result = run_suite(suite, quick, workers=workers)
+        (out_path / filename).write_text(json.dumps(result, indent=2) + "\n")
+        print(f"\n[{suite}] -> {out_path / filename}", file=out)
+        for wid, metrics in result["workloads"].items():
+            shown = {
+                k: v
+                for k, v in metrics.items()
+                if k in GUARDED_METRICS
+                or k in ("speedup", "warm_speedup", "identical", "satisfied_delta")
+            }
+            print(f"  {wid}: {shown}", file=out)
+            if metrics.get("identical") is False:
+                failures.append(f"{wid}: parallel result differs from serial")
+        if baseline is not None:
+            base_file = pathlib.Path(baseline) / filename
+            if base_file.is_file():
+                base = json.loads(base_file.read_text())
+                violations = compare_to_baseline(result, base, max_regression)
+                for v in violations:
+                    print(f"  REGRESSION {v}", file=out)
+                failures.extend(violations)
+            else:
+                print(f"  (no baseline {base_file}; skipping gate)", file=out)
+    trends = trend_lines(
+        pathlib.Path(results_dir)
+        if results_dir is not None
+        else pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+    )
+    if trends:
+        print("\nbenchmark-suite trend anchors (benchmarks/results/*.json):", file=out)
+        for line in trends:
+            print(f"  {line}", file=out)
+    if failures:
+        print(f"\nbench FAILED ({len(failures)} problem(s))", file=out)
+        return 1
+    print("\nbench ok", file=out)
+    return 0

@@ -1,0 +1,164 @@
+"""Parallel pod-epoch placement engine.
+
+The engine executes a *batch* of independent placement solves — one per
+pod — either in-process (``parallelism=1``, the exact serial fallback) or
+across a persistent :class:`~concurrent.futures.ProcessPoolExecutor`.
+Three properties make the parallel path a drop-in replacement for the
+serial loop:
+
+* **Pure solve stage.**  A :class:`PlacementTask` carries everything a
+  worker needs (problem matrices, the controller, an optional RNG seed);
+  :func:`solve_placement_task` has no side effects on the platform, so it
+  can run anywhere.
+* **Deterministic merge order.**  ``solve_batch`` returns solutions in
+  task order regardless of which worker finished first, and controllers
+  that use randomness are re-seeded per task from an explicit seed, so a
+  parallel run is bit-identical to ``parallelism=1``.
+* **Persistent workers.**  The pool is created once and reused across
+  epochs (``pool_spawns`` counts creations), amortizing process start-up
+  over the run.
+
+Controllers that keep cross-epoch solver state (e.g. the warm-starting
+:class:`~repro.placement.tang.TangController`) expose ``export_state`` /
+``import_state``; the engine round-trips that state through the worker so
+warm starts survive the process boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.placement.problem import PlacementProblem, PlacementSolution
+
+
+@dataclass
+class PlacementTask:
+    """One pod's pure solve stage.
+
+    Attributes
+    ----------
+    key:
+        Caller identity (pod name); batches are merged in task order, so
+        the key is informational.
+    problem:
+        The placement instance to solve.
+    controller:
+        Any object with ``solve(problem) -> PlacementSolution``.  Must be
+        picklable for ``parallelism > 1``.
+    seed:
+        When set and the controller has an ``rng`` attribute, the worker
+        replaces it with ``default_rng(seed)`` before solving — the hook
+        that keeps randomized controllers identical across parallelism
+        levels.
+    """
+
+    key: str
+    problem: PlacementProblem
+    controller: object
+    seed: Optional[int] = None
+
+
+def derive_seed(key: str, epoch) -> int:
+    """Stable per-(pod, epoch) seed: identical across processes and runs
+    (unlike ``hash()``, which is salted per interpreter)."""
+    return zlib.crc32(f"{key}:{epoch}".encode()) & 0x7FFFFFFF
+
+
+def solve_placement_task(task: PlacementTask):
+    """Run one task's solve stage; returns ``(solution, solver_state)``.
+
+    Module-level so it is picklable by the process pool.  ``solver_state``
+    is whatever the controller's ``export_state`` returns (``None`` for
+    stateless controllers) and is re-imported into the main-process
+    controller by the engine.
+    """
+    controller = task.controller
+    if task.seed is not None and hasattr(controller, "rng"):
+        controller.rng = np.random.default_rng(task.seed)
+    solution = controller.solve(task.problem)
+    export = getattr(controller, "export_state", None)
+    state = export() if callable(export) else None
+    return solution, state
+
+
+class PlacementEngine:
+    """Fan independent placement solves across persistent worker processes.
+
+    Parameters
+    ----------
+    parallelism:
+        Worker count; defaults to ``os.cpu_count()``.  ``1`` solves
+        in-process with the exact same code path (no pool is ever
+        created), so it is the serial fallback the parallel path must
+        match bit-for-bit.
+    """
+
+    def __init__(self, parallelism: Optional[int] = None):
+        self.parallelism = (
+            int(parallelism) if parallelism is not None else (os.cpu_count() or 1)
+        )
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        self._pool: Optional[ProcessPoolExecutor] = None
+        #: Batches dispatched (one per epoch in the datacenter loop).
+        self.batches = 0
+        #: Individual pod solves executed.
+        self.tasks_solved = 0
+        #: Pool creations — stays at <= 1 per engine lifetime, which is
+        #: the point: workers persist across epochs.
+        self.pool_spawns = 0
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.parallelism > 1
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.parallelism)
+            self.pool_spawns += 1
+        return self._pool
+
+    def solve_batch(
+        self, tasks: Iterable[PlacementTask]
+    ) -> list[PlacementSolution]:
+        """Solve every task; results are returned in task order.
+
+        The serial and parallel paths share :func:`solve_placement_task`,
+        including the export/import round-trip of solver state, so the
+        only difference is *where* the solve runs.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        self.batches += 1
+        self.tasks_solved += len(tasks)
+        if self.parallelism == 1 or len(tasks) == 1:
+            results = [solve_placement_task(t) for t in tasks]
+        else:
+            results = list(self._ensure_pool().map(solve_placement_task, tasks))
+        solutions: list[PlacementSolution] = []
+        for task, (solution, state) in zip(tasks, results):
+            if state is not None:
+                import_state = getattr(task.controller, "import_state", None)
+                if callable(import_state):
+                    import_state(state)
+            solutions.append(solution)
+        return solutions
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "PlacementEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -66,13 +66,16 @@ class DistributedController:
                 size=min(self.sample_size, problem.n_servers),
                 replace=False,
             )
-            # Agent ranks its sample by the *stale* free CPU.
-            for s in sorted(sample, key=lambda i: -snapshot_free_cpu[i]):
+            # Agent ranks its sample by the *stale* free CPU — a stable
+            # argsort over the snapshot replaces the Python sorted()+skip
+            # loop (ties keep sample order, so placements are unchanged
+            # for the same seed); open/not-mine filtering is vectorized.
+            ranked = sample[np.argsort(-snapshot_free_cpu[sample], kind="stable")]
+            viable = ranked[
+                (snapshot_free_cpu[ranked] > 1e-9) & ~placement[ranked, a]
+            ]
+            for s in viable:
                 s = int(s)
-                if placement[s, a]:
-                    continue
-                if snapshot_free_cpu[s] <= 1e-9:
-                    continue  # looked full in the snapshot
                 # Admission control against live memory.
                 if live_free_mem[s] < problem.app_mem[a] - 1e-9:
                     continue

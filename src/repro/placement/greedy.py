@@ -87,17 +87,24 @@ class GreedyController:
         # spare CPU makes this first-fit-decreasing on both sides.
         for a in np.argsort(-residual, kind="stable"):
             a = int(a)
+            if residual[a] <= 1e-9:
+                continue
+            mem_a = problem.app_mem[a]
+            # The candidate mask's app-invariant parts are hoisted out of
+            # the grant loop: each grant only touches the chosen server
+            # (placed -> out of the mask; its free CPU/mem changes affect
+            # no other server), so an extra instance costs O(1), not O(S).
+            candidates = (
+                (free_mem >= mem_a - 1e-9)
+                & (free_cpu > 1e-9)
+                & ~placement[:, a]
+            )
+            n_placed = int(placement[:, a].sum())
             while residual[a] > 1e-9:
                 if problem.max_instances is not None and (
-                    placement[:, a].sum() >= problem.max_instances[a]
+                    n_placed >= problem.max_instances[a]
                 ):
                     break
-                mem_a = problem.app_mem[a]
-                candidates = (
-                    (free_mem >= mem_a - 1e-9)
-                    & (free_cpu > 1e-9)
-                    & ~placement[:, a]
-                )
                 if not candidates.any():
                     break
                 idx = np.nonzero(candidates)[0]
@@ -112,6 +119,8 @@ class GreedyController:
                 else:
                     s = int(idx[np.argmax(free_cpu[idx])])
                 placement[s, a] = True
+                candidates[s] = False
+                n_placed += 1
                 grant = min(residual[a], free_cpu[s])
                 load[s, a] += grant
                 residual[a] -= grant

@@ -12,6 +12,7 @@ from repro.analysis import (
     max_mean_ratio,
     summarize,
 )
+from repro.analysis.reporting import table_to_dict
 
 
 # ------------------------------------------------------------------ indices
@@ -110,6 +111,22 @@ def test_table_float_formatting():
     assert "0.123" in rendered
     assert "1.23e+06" in rendered
     assert "1.23e-05" in rendered
+
+
+def test_table_to_dict_mirrors_render():
+    t = Table("demo", ["name", "value"])
+    t.add_row("alpha", 1.5)
+    t.add_note("a note")
+    d = table_to_dict(t)
+    assert d == {
+        "title": "demo",
+        "columns": ["name", "value"],
+        "rows": [["alpha", "1.5"]],  # cells keep the rendered strings
+        "notes": ["a note"],
+    }
+    # Mutating the dict must not touch the table.
+    d["rows"].append(["x", "y"])
+    assert len(t.rows) == 1
 
 
 def test_table_print(capsys):

@@ -23,6 +23,7 @@ from repro.experiments import (
     e10_two_layer,
     e11_vip_tradeoff,
     e12_quality,
+    e15_parallel_scaling,
 )
 
 
@@ -188,6 +189,29 @@ def test_e12_small():
     assert rows["distributed"].mean_satisfied <= rows["tang-centralized"].mean_satisfied + 1e-9
     assert rows["hierarchical-pods"].total_time_s < rows["tang-centralized"].total_time_s
     result.table()
+
+
+def test_e12_parallel_matches_serial():
+    serial = e12_quality.run(n_servers=60, epochs=2, pod_size=30, parallelism=1)
+    parallel = e12_quality.run(n_servers=60, epochs=2, pod_size=30, parallelism=2)
+    for s, p in zip(serial.rows, parallel.rows):
+        assert (s.controller, s.mean_satisfied, s.total_changes) == (
+            p.controller,
+            p.mean_satisfied,
+            p.total_changes,
+        )
+
+
+def test_e15_small():
+    result = e15_parallel_scaling.run(
+        pod_counts=(4,), workers_list=(1, 2), pod_size=10, epochs=2
+    )
+    assert len(result.rows) == 2
+    assert result.all_identical()
+    serial = result.rows[0]
+    assert serial.workers == 1 and serial.speedup == pytest.approx(1.0)
+    table = result.table()
+    assert "cpu_count" in "".join(table.notes)
 
 
 def test_e10_dynamic_scenario():

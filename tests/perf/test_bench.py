@@ -1,0 +1,136 @@
+"""The ``repro bench`` harness: JSON output, the regression gate, and the
+trend reader."""
+
+import io
+import json
+
+import pytest
+
+from repro.perf import bench
+
+
+TINY_PLACEMENT = [
+    (bench.bench_pod_epoch, dict(n_servers=40, pod_size=10, epochs=2, workers=2)),
+    (bench.bench_tang_warm, dict(n_servers=30, epochs=2)),
+    (bench.bench_solver, dict(kind="greedy", n_servers=40)),
+]
+TINY_NETWORK = [
+    (bench.bench_maxmin, dict(n_flows=50, n_links=10, resolves=2)),
+]
+
+
+@pytest.fixture
+def tiny_fixtures(monkeypatch):
+    monkeypatch.setattr(bench, "QUICK_PLACEMENT", TINY_PLACEMENT)
+    monkeypatch.setattr(bench, "QUICK_NETWORK", TINY_NETWORK)
+
+
+def test_pod_epoch_workload_is_deterministic():
+    wid, metrics = bench.bench_pod_epoch(
+        n_servers=40, pod_size=10, epochs=2, workers=2
+    )
+    assert wid == "pod_epoch[servers=40,pods=4,epochs=2,workers=2]"
+    assert metrics["identical"] is True
+    assert metrics["pods"] == 4
+    assert metrics["pool_spawns"] == 1
+    assert metrics["serial_wall_s"] > 0
+
+
+def test_tang_warm_workload_value_parity():
+    _, metrics = bench.bench_tang_warm(n_servers=30, epochs=3)
+    assert metrics["satisfied_delta"] < 1e-6
+    assert metrics["warm_seeded"] > 0
+
+
+def test_maxmin_workload_identical_rates():
+    _, metrics = bench.bench_maxmin(n_flows=50, n_links=10, resolves=3)
+    assert metrics["identical"] is True
+    assert metrics["incidence_builds"] == 1
+
+
+def test_run_suite_schema(tiny_fixtures):
+    result = bench.run_suite("placement", quick=True)
+    assert result["schema"] == bench.SCHEMA
+    assert result["suite"] == "placement"
+    assert len(result["workloads"]) == len(TINY_PLACEMENT)
+
+
+def test_compare_to_baseline_flags_regressions():
+    baseline = {"workloads": {"w[1]": {"wall_s": 1.0}, "w[2]": {"cold_wall_s": 2.0}}}
+    current = {
+        "workloads": {
+            "w[1]": {"wall_s": 2.5},  # 2.5x: regression at max 2.0
+            "w[2]": {"cold_wall_s": 3.0},  # 1.5x: fine
+            "w[3]": {"wall_s": 99.0},  # not in baseline: skipped
+        }
+    }
+    violations = bench.compare_to_baseline(current, baseline, max_ratio=2.0)
+    assert len(violations) == 1
+    assert "w[1]" in violations[0]
+    assert bench.compare_to_baseline(current, baseline, max_ratio=3.0) == []
+
+
+def test_trend_lines(tmp_path):
+    (tmp_path / "e02.json").write_text(
+        json.dumps(
+            {
+                "name": "e02_placement_scalability",
+                "tables": [
+                    {
+                        "title": "t",
+                        "columns": ["servers", "tang(s)"],
+                        "rows": [["100", "0.5"], ["800", "7.3"]],
+                        "notes": [],
+                    }
+                ],
+            }
+        )
+    )
+    (tmp_path / "junk.json").write_text("{not json")
+    lines = bench.trend_lines(tmp_path)
+    assert lines == ["e02_placement_scalability: tang(s)=7.3"]
+    assert bench.trend_lines(tmp_path / "missing") == []
+
+
+def test_cmd_bench_writes_json_and_gates(tiny_fixtures, tmp_path):
+    out = io.StringIO()
+    rc = bench.cmd_bench(
+        quick=True,
+        out_dir=str(tmp_path / "run1"),
+        workers=2,
+        baseline=None,
+        max_regression=2.0,
+        results_dir=str(tmp_path / "no-results"),
+        out=out,
+    )
+    assert rc == 0
+    for filename in bench.BENCH_FILES.values():
+        payload = json.loads((tmp_path / "run1" / filename).read_text())
+        assert payload["quick"] is True
+        assert payload["workloads"]
+
+    # Same fixtures vs their own baseline: no regression.
+    rc = bench.cmd_bench(
+        quick=True,
+        out_dir=str(tmp_path / "run2"),
+        workers=2,
+        baseline=str(tmp_path / "run1"),
+        max_regression=50.0,
+        results_dir=str(tmp_path / "no-results"),
+        out=io.StringIO(),
+    )
+    assert rc == 0
+
+    # An absurdly strict gate must fail and say why.
+    out = io.StringIO()
+    rc = bench.cmd_bench(
+        quick=True,
+        out_dir=str(tmp_path / "run3"),
+        workers=2,
+        baseline=str(tmp_path / "run1"),
+        max_regression=1e-6,
+        results_dir=str(tmp_path / "no-results"),
+        out=out,
+    )
+    assert rc == 1
+    assert "REGRESSION" in out.getvalue()

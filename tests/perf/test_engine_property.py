@@ -1,0 +1,139 @@
+"""Property-based determinism contracts of the parallel engine and the
+Tang warm start.
+
+* A parallel engine (``parallelism>1``) must produce the same
+  ``PlacementSolution``s and ``PodReport``s as the serial fallback
+  (``parallelism=1``) — bit-identical placements/loads, equal report
+  fields except the measured ``decision_time_s``.
+* The warm-started Tang controller must satisfy the same total demand
+  (+-1e-6) as a cold start on every epoch of a drifting sequence.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pod import Pod
+from repro.core.pod_manager import PodManager
+from repro.experiments.e02_placement_scalability import make_instance
+from repro.hosts.server import PhysicalServer, ServerSpec
+from repro.lbswitch.addresses import PRIVATE_RIP_POOL
+from repro.perf.engine import PlacementEngine, PlacementTask, derive_seed
+from repro.placement import PlacementProblem, TangController
+from repro.workload.apps import AppSpec
+from repro.workload.demand import ConstantDemand
+
+
+def build_manager(n_pods, n_servers, controller_factory):
+    managers = []
+    pool = PRIVATE_RIP_POOL(10_000)
+    for p in range(n_pods):
+        pod = Pod(f"p{p}", max_servers=100, max_vms=1000)
+        for i in range(n_servers):
+            pod.add_server(PhysicalServer(f"p{p}-s{i}", ServerSpec(1.0, 32.0)))
+        managers.append(PodManager(pod, pool, controller=controller_factory()))
+    return managers
+
+
+def run_epochs(managers, engine, demand_seq, specs):
+    """The datacenter epoch loop in miniature: prepare all pods, solve the
+    batch through *engine*, apply in order.  Returns all PodReports."""
+    reports = []
+    for epoch, demands in enumerate(demand_seq):
+        plans = [pm.prepare_epoch(demands, specs, t=float(epoch)) for pm in managers]
+        tasks = [
+            PlacementTask(
+                key=pm.pod.name,
+                problem=plan.problem,
+                controller=pm.controller,
+                seed=derive_seed(pm.pod.name, epoch),
+            )
+            for pm, plan in zip(managers, plans)
+        ]
+        solutions = engine.solve_batch(tasks)
+        reports.extend(
+            pm.apply_epoch(plan, sol, specs)
+            for pm, plan, sol in zip(managers, plans, solutions)
+        )
+    return reports
+
+
+def report_key(r):
+    # Everything the global manager consumes, minus the measured wall time.
+    return (
+        r.pod,
+        r.t,
+        round(r.demand_cpu, 12),
+        round(r.satisfied_cpu, 12),
+        r.changes,
+        round(r.utilization, 12),
+        r.n_servers,
+        r.n_vms,
+    )
+
+
+def pod_state(managers):
+    return [
+        sorted(
+            (s.name, vm.app, round(vm.cpu_slice, 12))
+            for s in pm.pod.servers
+            for vm in s.vms
+        )
+        for pm in managers
+    ]
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(0, 100),
+    n_pods=st.integers(2, 4),
+    epochs=st.integers(1, 3),
+)
+def test_parallel_reports_identical_to_serial(seed, n_pods, epochs):
+    rng = np.random.default_rng(seed)
+    apps = [f"a{i}" for i in range(5)]
+    specs = {a: AppSpec(a, 0.25, ConstantDemand(1.0)) for a in apps}
+    demand_seq = [
+        {a: float(rng.uniform(0.0, 2.0)) for a in apps} for _ in range(epochs)
+    ]
+    results = {}
+    for parallelism in (1, 2):
+        managers = build_manager(n_pods, 4, TangController)
+        with PlacementEngine(parallelism) as engine:
+            reports = run_epochs(managers, engine, demand_seq, specs)
+        results[parallelism] = (
+            [report_key(r) for r in reports],
+            pod_state(managers),
+        )
+    assert results[1] == results[2]
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000), epochs=st.integers(2, 4))
+def test_tang_warm_start_matches_cold_satisfied_demand(seed, epochs):
+    base = make_instance(30, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    demand_seq = [base.app_cpu_demand]
+    for _ in range(epochs - 1):
+        factor = rng.lognormal(0.0, 0.3, size=base.n_apps)
+        nxt = demand_seq[-1] * factor
+        demand_seq.append(nxt * demand_seq[-1].sum() / nxt.sum())
+
+    satisfied = {}
+    for warm in (False, True):
+        controller = TangController(warm_start=warm)
+        placement = base.current.copy()
+        totals = []
+        for demand in demand_seq:
+            problem = PlacementProblem(
+                server_cpu=base.server_cpu,
+                server_mem=base.server_mem,
+                app_cpu_demand=demand,
+                app_mem=base.app_mem,
+                current=placement,
+            )
+            sol = controller.solve(problem)
+            placement = sol.placement
+            totals.append(float(sol.satisfied().sum()))
+        satisfied[warm] = totals
+    assert np.allclose(satisfied[False], satisfied[True], atol=1e-6)

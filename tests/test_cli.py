@@ -96,3 +96,26 @@ def test_controlplane_rejects_too_short_duration():
     code, _, err = run_main(["controlplane", "--duration", "100"])
     assert code == 2
     assert "too short" in err
+
+
+def test_bench_command_quick(tmp_path, monkeypatch):
+    import json
+
+    from repro.perf import bench
+
+    monkeypatch.setattr(
+        bench,
+        "QUICK_PLACEMENT",
+        [(bench.bench_solver, dict(kind="greedy", n_servers=40))],
+    )
+    monkeypatch.setattr(
+        bench,
+        "QUICK_NETWORK",
+        [(bench.bench_maxmin, dict(n_flows=50, n_links=10, resolves=2))],
+    )
+    code, out, _ = run_main(["bench", "--quick", "--out", str(tmp_path)])
+    assert code == 0
+    assert "bench ok" in out
+    for filename in ("BENCH_placement.json", "BENCH_network.json"):
+        payload = json.loads((tmp_path / filename).read_text())
+        assert payload["quick"] is True and payload["workloads"]
