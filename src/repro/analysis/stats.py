@@ -11,6 +11,7 @@ These are the scalar summaries every load-balancing experiment reports:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -63,8 +64,14 @@ class Summary:
     p99: float
 
 
-def summarize(values) -> Summary:
-    x = _clean(values)
+def summarize(values) -> Optional[Summary]:
+    """Full distribution summary; ``None`` for an empty value set (an
+    empty epoch is "no data", not an error, unlike the ratio indices
+    above where emptiness indicates a caller bug)."""
+    x = np.asarray(values, dtype=float).ravel()
+    if x.size == 0:
+        return None
+    x = _clean(x)
     return Summary(
         n=int(x.size),
         mean=float(x.mean()),

@@ -10,6 +10,8 @@ Usage::
     python -m repro faults --seed 42        # scripted failure-recovery scenario
     python -m repro controlplane --seed 42  # manager crash + journal replay
     python -m repro bench --quick           # pinned perf workloads -> BENCH_*.json
+    python -m repro trace summary run.jsonl # per-kind counts + digest
+    python -m repro trace diff a.jsonl b.jsonl  # first divergence, exit 1 if differ
 """
 
 from __future__ import annotations
@@ -150,6 +152,60 @@ def cmd_controlplane(
     return 0 if result.recovered else 1
 
 
+def cmd_trace_summary(paths: list[str], out=None) -> int:
+    """Summarize one or more JSONL trace files."""
+    out = out if out is not None else sys.stdout
+    from repro.obs import summarize_trace
+
+    status = 0
+    for path in paths:
+        try:
+            s = summarize_trace(path)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"{path}: error: {exc}", file=sys.stderr)
+            status = 2
+            continue
+        span = (
+            f"t=[{s['t_first']:g}, {s['t_last']:g}]"
+            if s["events"]
+            else "empty"
+        )
+        print(f"{path}: {s['events']} events, {span}", file=out)
+        print(f"  digest {s['digest']}", file=out)
+        for kind in sorted(s["kinds"]):
+            print(f"  {kind:>16}  {s['kinds'][kind]}", file=out)
+    return status
+
+
+def cmd_trace_diff(path_a: str, path_b: str, out=None) -> int:
+    """Diff two trace files; exit 0 iff they are identical."""
+    out = out if out is not None else sys.stdout
+    from repro.obs import diff_traces
+
+    try:
+        d = diff_traces(path_a, path_b)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for side in ("a", "b"):
+        info = d[side]
+        print(
+            f"{side}: {info['path']}  events={info['events']}  "
+            f"digest={info['digest'][:16]}…",
+            file=out,
+        )
+    if d["identical"]:
+        print("traces identical", file=out)
+        return 0
+    div = d["first_divergence"]
+    print(f"first divergence at event #{div['index']}:", file=out)
+    print(f"  a: {div['a']}", file=out)
+    print(f"  b: {div['b']}", file=out)
+    if d["kind_delta"]:
+        print(f"event-count delta (b - a): {d['kind_delta']}", file=out)
+    return 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -228,6 +284,21 @@ def main(argv: list[str] | None = None) -> int:
         default=2.0,
         help="fail if any guarded wall time exceeds baseline x this ratio",
     )
+    trace_p = sub.add_parser(
+        "trace", help="summarize or diff JSONL trace files"
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+    trace_sum_p = trace_sub.add_parser(
+        "summary", help="per-kind event counts, time span and content digest"
+    )
+    trace_sum_p.add_argument("files", nargs="+", metavar="FILE")
+    trace_diff_p = trace_sub.add_parser(
+        "diff",
+        help="compare two traces; exit 1 and show the first divergence "
+        "if they differ",
+    )
+    trace_diff_p.add_argument("file_a", metavar="A")
+    trace_diff_p.add_argument("file_b", metavar="B")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -254,6 +325,10 @@ def main(argv: list[str] | None = None) -> int:
             baseline=args.baseline,
             max_regression=args.max_regression,
         )
+    if args.command == "trace":
+        if args.trace_command == "summary":
+            return cmd_trace_summary(args.files)
+        return cmd_trace_diff(args.file_a, args.file_b)
     ids = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     unknown = [e for e in ids if e not in EXPERIMENTS]
     if unknown:

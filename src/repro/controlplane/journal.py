@@ -54,11 +54,15 @@ class JournalRecord:
 class WriteAheadJournal:
     """Append-only log of :class:`JournalRecord` with monotonic epochs."""
 
-    def __init__(self) -> None:
+    def __init__(self, trace=None, clock=None) -> None:
         self._records: list[JournalRecord] = []
         self._next_epoch = 1
         #: Appends over the journal's lifetime (truncation does not reset).
         self.appended = 0
+        #: Optional trace bus + sim-clock callable; each append then emits
+        #: a ``journal.commit`` event the auditor checks for monotonicity.
+        self.trace = trace
+        self.clock = clock
 
     # -- write path ---------------------------------------------------------
     def append(self, kind: str, app: str, **payload: Any) -> JournalRecord:
@@ -67,6 +71,12 @@ class WriteAheadJournal:
         self._next_epoch += 1
         self._records.append(record)
         self.appended += 1
+        if self.trace is not None and self.trace.enabled:
+            self.trace.emit(
+                "journal.commit",
+                t=self.clock() if self.clock is not None else 0.0,
+                epoch=record.epoch, op=kind, app=app,
+            )
         return record
 
     def mark(self, record: JournalRecord, phase: OpPhase, **payload: Any) -> None:

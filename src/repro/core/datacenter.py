@@ -47,6 +47,7 @@ from repro.lbswitch.addresses import PRIVATE_RIP_POOL, PUBLIC_VIP_POOL
 from repro.lbswitch.switch import LBSwitch
 from repro.network.bgp import BGPAnnouncer
 from repro.network.links import InternetSide
+from repro.obs import InvariantAuditor, Observability
 from repro.sim.core import Environment
 from repro.sim.events import Event
 from repro.sim.monitor import TimeSeries
@@ -86,16 +87,29 @@ class MegaDataCenter:
         topology: Optional["PortLand"] = None,
         parallelism: int = 1,
         engine: Optional[PlacementEngine] = None,
+        obs: Optional[Observability] = None,
+        audit: bool = False,
     ):
         if not apps:
             raise ValueError("need at least one application")
         self.config = config if config is not None else PlatformConfig()
+        # Observability spine: every subsystem below emits onto obs.trace
+        # and counts into obs.metrics.  The default is the disabled
+        # facade, whose emit/inc are no-ops, so instrumented code paths
+        # are unconditional.
+        self.obs = obs if obs is not None else Observability.disabled()
+        self.auditor: Optional[InvariantAuditor] = None
+        if audit:
+            if not self.obs.trace.enabled:
+                raise ValueError("audit=True needs an enabled trace bus")
+            self.auditor = InvariantAuditor(dc=self).attach(self.obs.trace)
         # Pod epochs are embarrassingly parallel (Section III-A): the pure
         # solve stage of every pod fans across the engine's persistent
         # worker pool; parallelism=1 is the exact serial fallback.  A
         # shared engine can be passed in (the caller then owns its pool).
         self._owns_engine = engine is None
         self.engine = engine if engine is not None else PlacementEngine(parallelism)
+        self.engine.trace = self.obs.trace
         # Crash safety only makes sense for the serialized control plane:
         # it journals the VIP/RIP manager's operations and runs the
         # anti-entropy reconciler against its registries.
@@ -178,6 +192,8 @@ class MegaDataCenter:
                 controller=controller,
                 on_start=self._wire_rip,
                 on_stop=self._unwire_rip,
+                trace=self.obs.trace,
+                trace_clock=lambda: self.env.now,
             )
 
         # --- serialized VIP/RIP path (Section III-C) ----------------------------------
@@ -193,7 +209,9 @@ class MegaDataCenter:
         self.journal: Optional[WriteAheadJournal] = None
         self.checkpoints: Optional[CheckpointStore] = None
         if crash_safe_manager:
-            self.journal = WriteAheadJournal()
+            self.journal = WriteAheadJournal(
+                trace=self.obs.trace, clock=lambda: self.env.now
+            )
             self.checkpoints = CheckpointStore()
         if serialized_reconfig:
             self.viprip = VipRipManager(
@@ -221,6 +239,7 @@ class MegaDataCenter:
                     self.state.snapshot if crash_safe_manager else None
                 ),
             )
+            self.viprip.trace = self.obs.trace
         # RIPs whose wiring request is queued but not applied yet; maps
         # rip -> VM (dropped if the VM stops before the request lands).
         self._pending_wirings: dict[str, VM] = {}
@@ -250,6 +269,7 @@ class MegaDataCenter:
                 wire_rip=self._wire_rip,
                 unwire_rip=self._unwire_rip,
                 proactive_exposure=proactive_exposure,
+                trace=self.obs.trace,
             )
 
         # --- monitors -----------------------------------------------------------------------
@@ -366,6 +386,11 @@ class MegaDataCenter:
                     seed=(
                         derive_seed(name, epoch_tag)
                         if hasattr(manager.controller, "rng")
+                        else None
+                    ),
+                    trace_ctx=(
+                        {"t": t, "epoch": str(epoch_tag)}
+                        if self.obs.trace.enabled
                         else None
                     ),
                 )
@@ -760,9 +785,13 @@ class MegaDataCenter:
     # ------------------------------------------------------------------- run
     def close(self) -> None:
         """Release the placement engine's worker pool (no-op when the
-        engine was passed in by the caller, who owns it)."""
+        engine was passed in by the caller, who owns it) and detach the
+        auditor, so a shared trace bus outlives this datacenter without
+        stale subscriptions."""
         if self._owns_engine:
             self.engine.close()
+        if self.auditor is not None:
+            self.auditor.detach()
 
     def __enter__(self) -> "MegaDataCenter":
         return self
@@ -779,11 +808,14 @@ class MegaDataCenter:
 
     def _epoch_loop(self):
         while True:
-            self._run_epoch(self.env.now)
+            with self.obs.metrics.timer("epoch.wall_s").time():
+                self._run_epoch(self.env.now)
             yield self.env.timeout(self.config.epoch_s)
             self.fluid_dns.advance(self.config.epoch_s)
 
     def _run_epoch(self, t: float) -> None:
+        if self.obs.trace.enabled:
+            self.obs.trace.emit("epoch.start", t=t, epoch=self.epochs)
         pod_demand: dict[str, dict[str, float]] = {
             p: defaultdict(float) for p in self.pod_managers
         }
@@ -863,6 +895,18 @@ class MegaDataCenter:
 
         if self.global_manager is not None:
             self.global_manager.react(reports, t)
+        if self.obs.trace.enabled:
+            # Emitted after the global manager reacted: this is the
+            # quiescent point where the auditor's structural sweep runs.
+            self.obs.trace.emit(
+                "epoch.end", t=t, epoch=self.epochs,
+                blackholed=round(blackholed, 6),
+                satisfied=round(
+                    total_satisfied / total_demand if total_demand > 0 else 1.0, 6
+                ),
+                reconfigurations=self.state.reconfigurations,
+            )
+        self.obs.metrics.counter("epochs").inc()
         self.epochs += 1
 
     # ------------------------------------------------------------- accessors

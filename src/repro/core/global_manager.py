@@ -61,6 +61,7 @@ class GlobalManager:
         unwire_rip=None,
         max_k1_apps_per_epoch: int = 20,
         proactive_exposure: bool = False,
+        trace=None,
     ):
         self.env = env
         self.config = config
@@ -69,7 +70,7 @@ class GlobalManager:
         self.fluid_dns = fluid_dns
         self.pod_managers = dict(pod_managers)
         self.specs = dict(specs)
-        self.log = ActionLog()
+        self.log = ActionLog(trace=trace)
         self.ladder = ladder if ladder is not None else KnobLadder()
         self.max_k1_apps_per_epoch = max_k1_apps_per_epoch
         #: With proactive exposure, K1 re-weights the busiest apps every

@@ -17,14 +17,24 @@ class ActionRecord:
 
 
 class ActionLog:
-    """Chronological record of control actions."""
+    """Chronological record of control actions.
 
-    def __init__(self):
+    When a trace bus is attached, every recorded action is also emitted
+    as a ``knob`` trace event, so K1–K6 invocations land in the same
+    deterministic stream as epoch boundaries and journal commits.
+    """
+
+    def __init__(self, trace=None):
         self.records: list[ActionRecord] = []
+        self.trace = trace
 
     def record(self, t: float, knob: str, action: str, **detail: Any) -> ActionRecord:
         rec = ActionRecord(t=t, knob=knob, action=action, detail=dict(detail))
         self.records.append(rec)
+        if self.trace is not None and self.trace.enabled:
+            self.trace.emit(
+                "knob", t=t, knob=knob, action=action, detail=dict(detail)
+            )
         return rec
 
     def by_knob(self, knob: str) -> list[ActionRecord]:

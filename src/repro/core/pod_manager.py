@@ -77,12 +77,17 @@ class PodManager:
         controller=None,
         on_start: Optional[Callable[[VM], None]] = None,
         on_stop: Optional[Callable[[VM], None]] = None,
+        trace=None,
+        trace_clock: Optional[Callable[[], float]] = None,
     ):
         self.pod = pod
         self.rip_pool = rip_pool
         self.controller = controller if controller is not None else GreedyController()
         self.on_start = on_start
         self.on_stop = on_stop
+        # Trace bus + sim clock (vacate() has no plan.t to stamp with).
+        self.trace = trace
+        self.trace_clock = trace_clock
         self.migration_stats = MigrationStats()
         self.epochs_run = 0
         self.last_report: Optional[PodReport] = None
@@ -161,6 +166,16 @@ class PodManager:
             n_vms=self.pod.n_vms,
         )
         self.last_report = report
+        if self.trace is not None and self.trace.enabled:
+            # decision_time_s is wall-clock and is deliberately excluded:
+            # trace content must be identical across engine parallelism.
+            self.trace.emit(
+                "pod.apply", t=plan.t, pod=self.pod.name,
+                demand=round(report.demand_cpu, 6),
+                satisfied=round(report.satisfied_cpu, 6),
+                changes=report.changes,
+                servers=report.n_servers, vms=report.n_vms,
+            )
         return report
 
     def _build_problem(
@@ -289,6 +304,9 @@ class PodManager:
             return []
         candidates = sorted(self.pod.servers, key=lambda s: (s.cpu_allocated, s.name))
         vacated: list[PhysicalServer] = []
+        vms_before = self.pod.n_vms
+        migrations_before = self.migration_stats.migrations
+        stopped = 0
         for server in candidates:
             if len(vacated) >= n:
                 break
@@ -318,6 +336,7 @@ class PodManager:
                     )
                     target.resize(existing.vm_id, merged)
                     vm.state = VMState.STOPPED
+                    stopped += 1
                     if vm.rip is not None:
                         self.rip_pool.release(vm.rip)
                         if self.on_stop:
@@ -330,6 +349,18 @@ class PodManager:
                 vacated.append(server)
         for server in vacated:
             self.pod.remove_server(server.name)
+        if self.trace is not None and self.trace.enabled:
+            # The vms_before/after/stopped triple is the conservation
+            # witness the InvariantAuditor checks: a vacate may stop VMs
+            # deliberately (merged load) but must never lose one.
+            self.trace.emit(
+                "k3.vacate",
+                t=self.trace_clock() if self.trace_clock is not None else 0.0,
+                pod=self.pod.name, requested=n, vacated=len(vacated),
+                migrations=self.migration_stats.migrations - migrations_before,
+                stopped=stopped, vms_before=vms_before,
+                vms_after=self.pod.n_vms,
+            )
         return vacated
 
     @staticmethod

@@ -172,6 +172,9 @@ class VipRipManager:
         #: with the error instead of wedging the serialized processor.
         self.errored = 0
         self.busy_s = 0.0
+        #: Optional trace bus (set by the facade); each successfully
+        #: processed request emits one ``viprip.apply`` event.
+        self.trace = None
 
         # -- crash safety (repro.controlplane) --------------------------------
         #: Durable write-ahead journal; ``None`` disables crash safety.
@@ -423,6 +426,11 @@ class VipRipManager:
                 self.busy_s += self.env.now - started
                 self.processed += 1
                 self._inflight = None
+                if self.trace is not None and self.trace.enabled:
+                    self.trace.emit(
+                        "viprip.apply", t=self.env.now, op=req.kind,
+                        app=req.app, ok=req.result is not None,
+                    )
                 if req.done is not None and not req.done.triggered:
                     req.done.succeed(req.result)
         except Interrupt:

@@ -74,6 +74,9 @@ def run(
     n_switches: int = 8,
     duration_s: float = 3600.0,
     seed: int = 0,
+    obs=None,
+    audit: bool = False,
+    parallelism: int = 1,
 ) -> E1Result:
     apps = WorkloadBuilder(
         n_apps=n_apps,
@@ -88,6 +91,10 @@ def run(
         n_pods=n_pods,
         servers_per_pod=servers_per_pod,
         n_switches=n_switches,
+        obs=obs,
+        audit=audit,
+        parallelism=parallelism,
     )
     dc.run(duration_s)
+    dc.close()
     return E1Result(dc=dc, duration_s=duration_s)

@@ -69,6 +69,9 @@ class E14Case:
     #: A final reconciliation pass found nothing left to repair.
     end_state_clean: bool
     invariants_ok: bool
+    #: Online InvariantAuditor violations (0 unless the case was run with
+    #: ``audit=True`` and something actually broke).
+    violations: int = 0
 
     @property
     def recovered(self) -> bool:
@@ -144,7 +147,12 @@ class E14Result:
 
 
 def _run_case(
-    seed: int, duration_s: float, checkpoint_interval_s: float, config: PlatformConfig
+    seed: int,
+    duration_s: float,
+    checkpoint_interval_s: float,
+    config: PlatformConfig,
+    obs=None,
+    audit: bool = False,
 ) -> tuple[E14Case, RecoveryMonitor]:
     hub = RngHub(seed)
     apps = WorkloadBuilder(
@@ -160,6 +168,8 @@ def _run_case(
         servers_per_pod=8,
         n_switches=4,
         crash_safe_manager=True,
+        obs=obs,
+        audit=audit,
     )
 
     # Victim switch: the one carrying the most VIPs, so the crash has the
@@ -249,7 +259,9 @@ def _run_case(
         tamper_convergence_s=tamper_conv,
         end_state_clean=final.clean,
         invariants_ok=dc.invariants_ok(),
+        violations=len(dc.auditor.violations) if dc.auditor is not None else 0,
     )
+    dc.close()
     return case, monitor
 
 
@@ -257,8 +269,14 @@ def run(
     seed: int = 42,
     duration_s: float = 1800.0,
     checkpoint_intervals: tuple[float, ...] = DEFAULT_INTERVALS,
+    obs=None,
+    audit: bool = False,
 ) -> E14Result:
-    """Sweep the checkpoint interval over the scripted crash scenario."""
+    """Sweep the checkpoint interval over the scripted crash scenario.
+
+    With *obs*/*audit*, every case emits onto the same trace bus and is
+    audited online (each case's auditor detaches at case end, so sweeps
+    do not cross-talk)."""
     if duration_s < MIN_DURATION_S:
         raise ValueError(
             f"duration_s={duration_s:g} too short: the scripted scenario "
@@ -269,7 +287,9 @@ def run(
     for interval in checkpoint_intervals:
         config = PlatformConfig(checkpoint_interval_s=interval, manager_cutover_s=4.0)
         result.reconcile_interval_s = config.reconcile_interval_s
-        case, monitor = _run_case(seed, duration_s, interval, config)
+        case, monitor = _run_case(
+            seed, duration_s, interval, config, obs=obs, audit=audit
+        )
         result.cases.append(case)
         result.monitors.append(monitor)
     return result

@@ -1,0 +1,241 @@
+"""Online cross-subsystem invariant auditing.
+
+The :class:`InvariantAuditor` subscribes to a :class:`~repro.obs.trace.TraceBus`
+and checks, while a run is in flight, the properties the paper's control
+loops are supposed to preserve but no single subsystem can see on its own:
+
+* ``journal-monotonic`` — VIP/RIP write-ahead journal epochs strictly
+  increase (from ``journal.commit`` events).
+* ``k3-conservation`` — a K3 server vacate never loses VMs: the pod's VM
+  count after equals the count before minus the VMs deliberately stopped
+  (from ``k3.vacate`` events).
+* ``vip-single-home`` — a VIP is installed on at most one LB switch.
+* ``vip-single-route`` — a VIP is advertised on at most one access link
+  (the K1 property).
+* ``rip-single-home`` — a RIP appears in at most one (switch, VIP) entry.
+* ``rip-pod`` — every registered RIP resolves to exactly one pod through
+  its VM's host server.
+* ``pod-caps`` — pod server/VM counts stay within the configured caps.
+* ``server-caps`` — per-server CPU/memory stay within capacity.
+* ``switch-caps`` — per-switch VIP/RIP table sizes stay within limits.
+
+The structural sweeps run at every ``epoch.end`` (quiescent points — K2
+transfers have a legitimate transient where a VIP is advertised nowhere
+mid-cutover, which is why the ≤1 checks are scheduled at epoch
+boundaries rather than on every event).  Violations are recorded as
+structured :class:`Violation` records; ``strict=True`` raises
+:class:`InvariantViolation` at the first one instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.trace import TraceBus, TraceEvent
+
+_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected invariant breach."""
+
+    t: float
+    invariant: str
+    detail: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"[t={self.t:.1f}] {self.invariant}: {self.detail}"
+
+
+class InvariantViolation(AssertionError):
+    """Raised in strict mode; carries the structured violation."""
+
+    def __init__(self, violation: Violation):
+        super().__init__(str(violation))
+        self.violation = violation
+
+
+class InvariantAuditor:
+    """Checks cross-subsystem invariants online from trace events.
+
+    Parameters
+    ----------
+    dc:
+        The :class:`MegaDataCenter` under audit; needed for the
+        structural sweeps (state registries, switch tables, BGP RIB).
+        Event-only checks (journal monotonicity, K3 conservation) work
+        without it.
+    strict:
+        Raise :class:`InvariantViolation` at the first breach instead of
+        accumulating.
+    """
+
+    def __init__(self, dc=None, strict: bool = False):
+        self.dc = dc
+        self.strict = strict
+        self.violations: list[Violation] = []
+        self.events_seen = 0
+        self.audits_run = 0
+        self._last_journal_epoch: Optional[int] = None
+        self._bus: Optional["TraceBus"] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def attach(self, bus: "TraceBus") -> "InvariantAuditor":
+        bus.subscribe(self.on_event)
+        self._bus = bus
+        return self
+
+    def detach(self) -> None:
+        if self._bus is not None:
+            self._bus.unsubscribe(self.on_event)
+            self._bus = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def _flag(self, t: float, invariant: str, **detail) -> None:
+        v = Violation(t=float(t), invariant=invariant, detail=detail)
+        self.violations.append(v)
+        if self.strict:
+            raise InvariantViolation(v)
+
+    # -- event hooks --------------------------------------------------------
+    def on_event(self, ev: "TraceEvent") -> None:
+        self.events_seen += 1
+        if ev.kind == "journal.commit":
+            self._check_journal(ev)
+        elif ev.kind == "k3.vacate":
+            self._check_k3_conservation(ev)
+        elif ev.kind == "epoch.end":
+            self.audit_now(ev.t)
+
+    def _check_journal(self, ev: "TraceEvent") -> None:
+        epoch = ev.data.get("epoch")
+        if epoch is None:
+            return
+        if self._last_journal_epoch is not None and epoch <= self._last_journal_epoch:
+            self._flag(
+                ev.t, "journal-monotonic",
+                epoch=epoch, previous=self._last_journal_epoch,
+            )
+        self._last_journal_epoch = epoch
+
+    def _check_k3_conservation(self, ev: "TraceEvent") -> None:
+        d = ev.data
+        before, after, stopped = (
+            d.get("vms_before"), d.get("vms_after"), d.get("stopped"),
+        )
+        if before is None or after is None or stopped is None:
+            return
+        if after != before - stopped:
+            self._flag(
+                ev.t, "k3-conservation",
+                pod=d.get("pod"), vms_before=before,
+                vms_after=after, stopped=stopped,
+            )
+
+    # -- structural sweep ---------------------------------------------------
+    def audit_now(self, t: float) -> list[Violation]:
+        """Run the full structural sweep against the live datacenter.
+        Returns violations found by *this* sweep."""
+        if self.dc is None:
+            return []
+        self.audits_run += 1
+        found_from = len(self.violations)
+        self._audit_tables(t)
+        self._audit_routes(t)
+        self._audit_rip_pods(t)
+        self._audit_caps(t)
+        return self.violations[found_from:]
+
+    def _audit_tables(self, t: float) -> None:
+        """VIPs on ≤1 switch; each RIP in ≤1 (switch, VIP) entry."""
+        vip_homes: dict[str, list[str]] = {}
+        rip_homes: dict[str, list[tuple[str, str]]] = {}
+        for switch in self.dc.switches.values():
+            for vip in switch.vips():
+                vip_homes.setdefault(vip, []).append(switch.name)
+                for rip in switch.entry(vip).rips:
+                    rip_homes.setdefault(rip, []).append((switch.name, vip))
+        for vip, homes in vip_homes.items():
+            if len(homes) > 1:
+                self._flag(t, "vip-single-home", vip=vip, switches=sorted(homes))
+        for rip, homes in rip_homes.items():
+            if len(homes) > 1:
+                self._flag(
+                    t, "rip-single-home", rip=rip,
+                    entries=sorted(f"{s}/{v}" for s, v in homes),
+                )
+
+    def _audit_routes(self, t: float) -> None:
+        """K1: each VIP advertised on ≤1 access link (padded routes are
+        intentional dilution, not real next-hops — excluded)."""
+        bgp = getattr(self.dc, "bgp", None)
+        if bgp is None:
+            return
+        for vip in bgp.all_vips():
+            links = bgp.links_for(vip, include_padded=False)
+            if len(links) > 1:
+                self._flag(t, "vip-single-route", vip=vip, links=sorted(links))
+
+    def _audit_rip_pods(self, t: float) -> None:
+        """Every registered RIP resolves to exactly one pod via its VM's
+        host server."""
+        state = self.dc.state
+        for rip in state.rips:
+            pod = state.pod_of_rip(rip)
+            if pod is None:
+                self._flag(t, "rip-pod", rip=rip)
+
+    def _audit_caps(self, t: float) -> None:
+        for manager in self.dc.pod_managers.values():
+            pod = manager.pod
+            if pod.n_servers > pod.max_servers:
+                self._flag(
+                    t, "pod-caps", pod=pod.name,
+                    servers=pod.n_servers, max_servers=pod.max_servers,
+                )
+            if pod.n_vms > pod.max_vms:
+                self._flag(
+                    t, "pod-caps", pod=pod.name,
+                    vms=pod.n_vms, max_vms=pod.max_vms,
+                )
+            for server in pod.servers:
+                if server.cpu_allocated > server.spec.cpu_capacity + _EPS:
+                    self._flag(
+                        t, "server-caps", server=server.name, resource="cpu",
+                        used=round(server.cpu_allocated, 6),
+                        capacity=server.spec.cpu_capacity,
+                    )
+                if server.mem_allocated > server.spec.mem_gb + _EPS:
+                    self._flag(
+                        t, "server-caps", server=server.name, resource="mem",
+                        used=round(server.mem_allocated, 6),
+                        capacity=server.spec.mem_gb,
+                    )
+        for switch in self.dc.switches.values():
+            if switch.num_vips > switch.limits.max_vips:
+                self._flag(
+                    t, "switch-caps", switch=switch.name, resource="vips",
+                    used=switch.num_vips, limit=switch.limits.max_vips,
+                )
+            if switch.num_rips > switch.limits.max_rips:
+                self._flag(
+                    t, "switch-caps", switch=switch.name, resource="rips",
+                    used=switch.num_rips, limit=switch.limits.max_rips,
+                )
+
+    def report(self) -> dict:
+        return {
+            "ok": self.ok,
+            "events_seen": self.events_seen,
+            "audits_run": self.audits_run,
+            "violations": [
+                {"t": v.t, "invariant": v.invariant, "detail": v.detail}
+                for v in self.violations
+            ],
+        }

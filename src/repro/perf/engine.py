@@ -56,12 +56,18 @@ class PlacementTask:
         replaces it with ``default_rng(seed)`` before solving — the hook
         that keeps randomized controllers identical across parallelism
         levels.
+    trace_ctx:
+        Opaque trace context (e.g. ``{"t": ..., "epoch": ...}``) carried
+        through the solve stage and echoed back with the result, so trace
+        events about a solution can be stamped with the *originating*
+        epoch even when the solve ran in another process.
     """
 
     key: str
     problem: PlacementProblem
     controller: object
     seed: Optional[int] = None
+    trace_ctx: Optional[dict] = None
 
 
 def derive_seed(key: str, epoch) -> int:
@@ -71,12 +77,15 @@ def derive_seed(key: str, epoch) -> int:
 
 
 def solve_placement_task(task: PlacementTask):
-    """Run one task's solve stage; returns ``(solution, solver_state)``.
+    """Run one task's solve stage; returns ``(solution, solver_state,
+    trace_ctx)``.
 
     Module-level so it is picklable by the process pool.  ``solver_state``
     is whatever the controller's ``export_state`` returns (``None`` for
     stateless controllers) and is re-imported into the main-process
-    controller by the engine.
+    controller by the engine.  ``trace_ctx`` is the task's context echoed
+    back verbatim — that round-trip is what lets trace events survive the
+    process-pool boundary.
     """
     controller = task.controller
     if task.seed is not None and hasattr(controller, "rng"):
@@ -84,7 +93,7 @@ def solve_placement_task(task: PlacementTask):
     solution = controller.solve(task.problem)
     export = getattr(controller, "export_state", None)
     state = export() if callable(export) else None
-    return solution, state
+    return solution, state, task.trace_ctx
 
 
 class PlacementEngine:
@@ -106,6 +115,10 @@ class PlacementEngine:
         if self.parallelism < 1:
             raise ValueError("parallelism must be >= 1")
         self._pool: Optional[ProcessPoolExecutor] = None
+        #: Optional trace bus (set by the datacenter facade).  Dispatch
+        #: and merge events never mention worker identity or pool width,
+        #: so traces are identical across parallelism levels.
+        self.trace = None
         #: Batches dispatched (one per epoch in the datacenter loop).
         self.batches = 0
         #: Individual pod solves executed.
@@ -138,16 +151,37 @@ class PlacementEngine:
             return []
         self.batches += 1
         self.tasks_solved += len(tasks)
+        tracing = self.trace is not None and self.trace.enabled
+        if tracing and tasks[0].trace_ctx is not None:
+            ctx = tasks[0].trace_ctx
+            self.trace.emit(
+                "pool.dispatch", t=ctx.get("t", 0.0),
+                epoch=ctx.get("epoch"), tasks=[t.key for t in tasks],
+            )
         if self.parallelism == 1 or len(tasks) == 1:
             results = [solve_placement_task(t) for t in tasks]
         else:
             results = list(self._ensure_pool().map(solve_placement_task, tasks))
         solutions: list[PlacementSolution] = []
-        for task, (solution, state) in zip(tasks, results):
+        for task, (solution, state, ctx) in zip(tasks, results):
             if state is not None:
                 import_state = getattr(task.controller, "import_state", None)
                 if callable(import_state):
                     import_state(state)
+            if tracing and ctx is not None:
+                # CRCs of the solution arrays: cheap witnesses that the
+                # parallel merge is bit-identical to the serial solve.
+                # ascontiguousarray is a no-op for the (contiguous)
+                # solver output and lets crc32 read the buffer directly
+                # instead of through a tobytes copy.
+                self.trace.emit(
+                    "pool.merge", t=ctx.get("t", 0.0), key=task.key,
+                    epoch=ctx.get("epoch"),
+                    placement_crc=zlib.crc32(
+                        np.ascontiguousarray(solution.placement)
+                    ),
+                    load_crc=zlib.crc32(np.ascontiguousarray(solution.load)),
+                )
             solutions.append(solution)
         return solutions
 

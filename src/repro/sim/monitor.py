@@ -98,11 +98,13 @@ class Tally:
     def maximum(self) -> float:
         return self._max if self._n else math.nan
 
-    def percentile(self, q: float) -> float:
+    def percentile(self, q: float) -> Optional[float]:
         """q in [0, 100].  Exact while the reservoir has not overflowed
-        (or with ``keep_values=True``); a sample estimate beyond that."""
+        (or with ``keep_values=True``); a sample estimate beyond that.
+        Returns ``None`` when no values have been observed — callers
+        report "no data" rather than propagating NaN into summaries."""
         if not self._values:
-            return math.nan
+            return None
         return float(np.percentile(np.asarray(self._values), q))
 
     @property

@@ -1,0 +1,69 @@
+"""Connection table: session tracking, pause detection, capacity limit,
+forced VIP drops."""
+
+import pytest
+
+from repro.lbswitch.conntrack import ConnectionTable
+
+
+def test_open_close_round_trip():
+    table = ConnectionTable()
+    assert table.open(1, "vip1", "rip-a", now=0.0)
+    assert table.open(2, "vip1", "rip-b", now=1.0)
+    assert len(table) == 2
+    assert table.count_for_vip("vip1") == 2
+    assert table.rip_of(1) == "rip-a"
+    conn = table.close(1)
+    assert (conn.conn_id, conn.rip, conn.opened_at) == (1, "rip-a", 0.0)
+    assert table.count_for_vip("vip1") == 1
+
+
+def test_duplicate_open_raises():
+    table = ConnectionTable()
+    table.open(1, "vip1", "rip-a", now=0.0)
+    with pytest.raises(ValueError, match="already tracked"):
+        table.open(1, "vip2", "rip-b", now=1.0)
+
+
+def test_close_unknown_raises():
+    with pytest.raises(KeyError, match="not tracked"):
+        ConnectionTable().close(99)
+
+
+def test_capacity_limit_rejects_and_counts():
+    table = ConnectionTable(max_connections=2)
+    assert table.open(1, "vip1", "rip-a", now=0.0)
+    assert table.open(2, "vip1", "rip-a", now=0.0)
+    assert not table.open(3, "vip1", "rip-a", now=0.0)
+    assert table.rejected == 1
+    assert len(table) == 2
+    # Closing frees a slot.
+    table.close(1)
+    assert table.open(3, "vip1", "rip-a", now=1.0)
+
+
+def test_max_connections_must_be_positive():
+    with pytest.raises(ValueError, match=">= 1"):
+        ConnectionTable(max_connections=0)
+
+
+def test_pause_is_per_vip():
+    table = ConnectionTable()
+    table.open(1, "vip1", "rip-a", now=0.0)
+    table.open(2, "vip2", "rip-b", now=0.0)
+    assert not table.is_paused("vip1")
+    table.close(1)
+    assert table.is_paused("vip1")  # vip1 quiet even while vip2 is busy
+    assert not table.is_paused("vip2")
+    assert table.is_paused("never-seen")  # no sessions at all counts
+
+
+def test_drop_vip_kills_only_that_vip():
+    table = ConnectionTable()
+    for cid in range(4):
+        table.open(cid, "vip1", "rip-a", now=0.0)
+    table.open(9, "vip2", "rip-b", now=0.0)
+    assert table.drop_vip("vip1") == 4
+    assert table.is_paused("vip1")
+    assert table.count_for_vip("vip2") == 1
+    assert table.drop_vip("vip1") == 0  # idempotent once empty

@@ -1,0 +1,74 @@
+"""Golden-trace regression: fixed-seed scenario runs must reproduce the
+committed trace digests byte-for-byte.
+
+A digest change means the sequence of control actions changed — either a
+deliberate behavioural change (regenerate the goldens with
+``python tests/obs/test_golden_traces.py``) or an accidental determinism
+break (fix it).  The e01 case additionally asserts serial and parallel
+engines agree, which is the cross-process determinism contract.
+"""
+
+import json
+import pathlib
+
+from repro.obs import Observability, TraceBus
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_digests.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+
+def run_e01(parallelism: int = 1) -> str:
+    from repro.experiments import e01_architecture as e01
+
+    obs = Observability(trace=TraceBus(keep_events=False))
+    e01.run(
+        n_apps=16, total_gbps=8.0, n_pods=2, servers_per_pod=8,
+        n_switches=4, duration_s=600.0, seed=0, obs=obs, audit=True,
+        parallelism=parallelism,
+    )
+    return obs.trace.digest
+
+
+def run_e05() -> str:
+    from repro.experiments.e05_vip_transfer import SwitchBalanceScenario
+
+    obs = Observability(trace=TraceBus(keep_events=False))
+    scenario = SwitchBalanceScenario(use_k2=True, seed=0, obs=obs)
+    scenario.run(1800.0)
+    return obs.trace.digest
+
+
+def run_e14() -> str:
+    from repro.experiments import e14_control_plane as e14
+
+    obs = Observability(trace=TraceBus(keep_events=False))
+    e14.run(
+        seed=42, duration_s=1500.0, checkpoint_intervals=(240.0,),
+        obs=obs, audit=True,
+    )
+    return obs.trace.digest
+
+
+def test_e01_golden_digest_serial_and_parallel():
+    serial = run_e01(parallelism=1)
+    parallel = run_e01(parallelism=2)
+    assert serial == parallel, "serial and parallel engines diverged"
+    assert serial == GOLDEN["e01_small_seed0"]
+
+
+def test_e05_golden_digest():
+    assert run_e05() == GOLDEN["e05_balance_seed0"]
+
+
+def test_e14_golden_digest():
+    assert run_e14() == GOLDEN["e14_ckpt240_seed42"]
+
+
+if __name__ == "__main__":  # regenerate the goldens
+    fresh = {
+        "e01_small_seed0": run_e01(),
+        "e05_balance_seed0": run_e05(),
+        "e14_ckpt240_seed42": run_e14(),
+    }
+    GOLDEN_PATH.write_text(json.dumps(fresh, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(fresh, indent=2, sort_keys=True))

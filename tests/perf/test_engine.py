@@ -136,7 +136,7 @@ def test_derive_seed_stable_and_distinct():
 def test_solve_placement_task_reseeds_rng():
     task = make_tasks(controller=lambda: DistributedController(rng=None))[0]
     task.seed = 123
-    sol_a, _ = solve_placement_task(task)
+    sol_a, _, _ = solve_placement_task(task)
     task.controller.rng = np.random.default_rng(999)  # would diverge if kept
-    sol_b, _ = solve_placement_task(task)
+    sol_b, _, _ = solve_placement_task(task)
     assert sol_a.placement.tobytes() == sol_b.placement.tobytes()

@@ -23,7 +23,7 @@ def test_tally_empty():
     t = Tally()
     assert t.count == 0
     assert math.isnan(t.mean)
-    assert math.isnan(t.percentile(50))
+    assert t.percentile(50) is None
     assert t.variance == 0.0
 
 
