@@ -284,6 +284,15 @@ def main(argv: list[str] | None = None) -> int:
         default=2.0,
         help="fail if any guarded wall time exceeds baseline x this ratio",
     )
+    bench_p.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail if a parallel workload's speedup falls below X "
+        "(skipped with a warning when the runner has fewer cores than "
+        "the workload's workers)",
+    )
     trace_p = sub.add_parser(
         "trace", help="summarize or diff JSONL trace files"
     )
@@ -324,6 +333,7 @@ def main(argv: list[str] | None = None) -> int:
             workers=args.workers,
             baseline=args.baseline,
             max_regression=args.max_regression,
+            min_speedup=args.min_speedup,
         )
     if args.command == "trace":
         if args.trace_command == "summary":

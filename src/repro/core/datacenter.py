@@ -186,7 +186,7 @@ class MegaDataCenter:
             controller = (
                 pod_controller_factory() if pod_controller_factory else None
             )
-            self.pod_managers[pod.name] = PodManager(
+            manager = PodManager(
                 pod,
                 self.rip_pool,
                 controller=controller,
@@ -195,6 +195,12 @@ class MegaDataCenter:
                 trace=self.obs.trace,
                 trace_clock=lambda: self.env.now,
             )
+            # Out-of-band solves (fault-path re-placements) must also hit
+            # the engine: with worker-resident controllers a direct
+            # in-process solve would run against stale warm-start state
+            # and diverge from a serial run.
+            manager.solve_fn = self._solve_pod_epoch
+            self.pod_managers[pod.name] = manager
 
         # --- serialized VIP/RIP path (Section III-C) ----------------------------------
         # With serialized_reconfig, every RIP (un)wiring after bootstrap
@@ -400,6 +406,29 @@ class MegaDataCenter:
             self.pod_managers[name].apply_epoch(plan, solution, self.specs)
             for name, plan, solution in zip(names, plans, solutions)
         ]
+
+    def _solve_pod_epoch(self, manager: PodManager, plan: EpochPlan):
+        """Single-pod solve hook (``PodManager.solve_fn``): routes solves
+        initiated *by* a pod manager — crash recovery via
+        ``replace_lost`` — through the engine, so they run against the
+        pod's worker-resident controller exactly like batch epochs do.
+        No seed / trace_ctx: these are the same defaults a direct
+        ``controller.solve`` would have used, and fault events carry
+        their own trace."""
+        return self.engine.solve_batch(
+            [
+                PlacementTask(
+                    key=manager.pod.name,
+                    problem=plan.problem,
+                    controller=manager.controller,
+                    seed=(
+                        derive_seed(manager.pod.name, f"fault@{plan.t}")
+                        if hasattr(manager.controller, "rng")
+                        else None
+                    ),
+                )
+            ]
+        )[0]
 
     # ---------------------------------------------------------------- RIP wiring
     def _wire_rip(self, vm: VM) -> None:

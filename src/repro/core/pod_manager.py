@@ -95,6 +95,20 @@ class PodManager:
         # Last epoch's inputs, kept so a crash can re-run placement for
         # the displaced demand without waiting for the next control epoch.
         self._last_assigned: Optional[dict[str, float]] = None
+        #: Optional solve-stage override: ``solve_fn(self, plan)`` returns
+        #: the ``PlacementSolution`` for ``plan.problem``.  The datacenter
+        #: facade points this at its parallel engine so *every* solve —
+        #: including fault-path re-placements via :meth:`replace_lost` —
+        #: hits the pod's worker-resident controller state.  ``None``
+        #: (default) solves in-process with :attr:`controller`.
+        self.solve_fn: Optional[Callable] = None
+        # Columnar problem-array caches: structural arrays are rebuilt
+        # only when the server set / app set actually changes, so across
+        # quiet epochs the same ndarray objects (same bytes) flow into
+        # PlacementProblem — which is what lets the engine classify the
+        # epoch as a demand-only delta.
+        self._server_cache: tuple = ()
+        self._app_cache: tuple = ()
 
     # -- epoch ------------------------------------------------------------
     def run_epoch(
@@ -114,7 +128,10 @@ class PodManager:
             every app in *assigned_cpu* and every app with a VM here.
         """
         plan = self.prepare_epoch(assigned_cpu, specs, t=t)
-        solution = self.controller.solve(plan.problem)
+        if self.solve_fn is not None:
+            solution = self.solve_fn(self, plan)
+        else:
+            solution = self.controller.solve(plan.problem)
         return self.apply_epoch(plan, solution, specs)
 
     def prepare_epoch(
@@ -186,6 +203,21 @@ class PodManager:
         specs: Mapping[str, AppSpec],
     ) -> PlacementProblem:
         s_count, a_count = len(servers), len(apps)
+        server_key = tuple(
+            (s.name, s.spec.cpu_capacity, s.spec.mem_gb) for s in servers
+        )
+        if not self._server_cache or self._server_cache[0] != server_key:
+            self._server_cache = (
+                server_key,
+                np.asarray([s.spec.cpu_capacity for s in servers]),
+                np.asarray([s.spec.mem_gb for s in servers]),
+            )
+        app_key = tuple((a, specs[a].vm_mem_gb) for a in apps)
+        if not self._app_cache or self._app_cache[0] != app_key:
+            self._app_cache = (
+                app_key,
+                np.asarray([specs[a].vm_mem_gb for a in apps]),
+            )
         current = np.zeros((s_count, a_count), dtype=bool)
         app_index = {a: j for j, a in enumerate(apps)}
         for i, server in enumerate(servers):
@@ -193,12 +225,12 @@ class PodManager:
                 if vm.state != VMState.STOPPED:
                     current[i, app_index[vm.app]] = True
         return PlacementProblem(
-            server_cpu=np.asarray([s.spec.cpu_capacity for s in servers]),
-            server_mem=np.asarray([s.spec.mem_gb for s in servers]),
+            server_cpu=self._server_cache[1],
+            server_mem=self._server_cache[2],
             app_cpu_demand=np.asarray(
                 [float(assigned_cpu.get(a, 0.0)) for a in apps]
             ),
-            app_mem=np.asarray([specs[a].vm_mem_gb for a in apps]),
+            app_mem=self._app_cache[1],
             current=current,
         )
 

@@ -53,12 +53,14 @@ class FlowAllocation:
         self._rates: Optional[np.ndarray] = None
         self._loads: Optional[np.ndarray] = None
         self._A = None  # cached incidence; valid for the current routes
+        self._AT = None  # cached F x L transpose of _A
         self.incidence_builds = 0
 
     def add(self, flow: Flow) -> None:
         self.flows.append(flow)
         self._rates = None
         self._A = None  # route set changed
+        self._AT = None
 
     @property
     def incidence(self):
@@ -70,13 +72,25 @@ class FlowAllocation:
             self.incidence_builds += 1
         return self._A
 
+    @property
+    def incidence_t(self):
+        """The cached F x L transpose (the saturation-freeze matvec)."""
+        if self._AT is None:
+            self._AT = self.incidence.T.tocsr()
+        return self._AT
+
     def solve(self) -> np.ndarray:
         routes = [f.links for f in self.flows]
         demands = [f.demand_gbps for f in self.flows]
         weights = [f.weight for f in self.flows]
         A = self.incidence
         self._rates = weighted_maxmin_fair(
-            routes, self.capacities, demands=demands, weights=weights, incidence=A
+            routes,
+            self.capacities,
+            demands=demands,
+            weights=weights,
+            incidence=A,
+            incidence_t=self.incidence_t,
         )
         self._loads = link_loads(
             routes, self._rates, len(self.capacities), incidence=A

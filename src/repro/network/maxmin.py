@@ -65,6 +65,7 @@ def weighted_maxmin_fair(
     demands: Optional[Sequence[float]] = None,
     weights: Optional[Sequence[float]] = None,
     incidence: Optional[sparse.csr_matrix] = None,
+    incidence_t: Optional[sparse.csr_matrix] = None,
 ) -> np.ndarray:
     """Weighted max–min fairness: link shares are proportional to weights.
 
@@ -74,7 +75,15 @@ def weighted_maxmin_fair(
     ``incidence`` lets a caller that re-solves the same route set (only
     demands/weights change between control epochs) pass the prebuilt L x F
     matrix instead of paying the O(nnz) rebuild — see
-    :class:`repro.network.flows.FlowAllocation`.
+    :class:`repro.network.flows.FlowAllocation`.  ``incidence_t`` is the
+    matching prebuilt F x L transpose (used to freeze flows on saturated
+    links with one matvec); it is derived from ``incidence`` when absent.
+
+    Everything per-flow is derived from the incidence matrix — the
+    ``routes`` lists are only consulted to *build* it — so the whole loop
+    is sparse matvecs with no per-link/per-flow Python iteration.
+    :func:`progressive_filling_dense` is the readable per-link loop
+    reference this is verified bit-identical against.
     """
     n_flows = len(routes)
     caps = np.asarray(capacities, dtype=float)
@@ -111,13 +120,22 @@ def weighted_maxmin_fair(
             )
     else:
         A = _incidence(routes, n_links)  # L x F
+    if incidence_t is not None:
+        AT = incidence_t
+        if AT.shape != (n_flows, n_links):
+            raise ValueError(
+                f"incidence_t must be {n_flows}x{n_links}, got {AT.shape}"
+            )
+    else:
+        AT = A.T.tocsr()
 
     rates = np.zeros(n_flows)
     active = np.ones(n_flows, dtype=bool)  # not yet frozen
     remaining = caps.copy()
 
-    # Flows with no links are limited only by demand.
-    routeless = np.asarray([len(r) == 0 for r in routes])
+    # Flows with no links (empty incidence column) are limited only by
+    # their demand.
+    routeless = A.getnnz(axis=0) == 0
     if routeless.any():
         rates[routeless] = dem[routeless]
         if not np.isfinite(dem[routeless]).all():
@@ -161,12 +179,123 @@ def weighted_maxmin_fair(
         # Freeze flows that reached their demand.
         done = active & (rates >= dem - 1e-12)
         active &= ~done
-        # Freeze flows crossing a saturated link.
+        # Freeze flows crossing a saturated link: one transpose matvec
+        # (counts of saturated links per flow) instead of slicing rows
+        # out of the CSR matrix each iteration.
         saturated = used & (remaining <= 1e-12)
         if saturated.any():
-            on_saturated = (A[saturated, :].sum(axis=0) > 0)
-            on_saturated = np.asarray(on_saturated).ravel()
+            on_saturated = (AT @ saturated.astype(float)) > 0
             active &= ~on_saturated
+    else:  # pragma: no cover - loop bound is a theoretical guarantee
+        raise RuntimeError("progressive filling failed to converge")
+
+    return rates
+
+
+def progressive_filling_dense(
+    routes: Sequence[Sequence[int]],
+    capacities: Sequence[float],
+    demands: Optional[Sequence[float]] = None,
+    weights: Optional[Sequence[float]] = None,
+) -> np.ndarray:
+    """Reference progressive filling with explicit per-link Python loops.
+
+    This is the readable textbook formulation the sparse implementation is
+    tested against: every matvec of :func:`weighted_maxmin_fair` becomes a
+    loop over per-link (flow, multiplicity) lists, accumulating in the same
+    ascending-index order a canonical CSR matvec uses — so the two produce
+    **bit-identical** rates (``np.array_equal``, not ``allclose``), which
+    is what lets golden traces stay byte-stable whichever path computed
+    them.  Quadratic bookkeeping; tests only.
+    """
+    n_flows = len(routes)
+    caps = np.asarray(capacities, dtype=float)
+    n_links = caps.shape[0]
+    if (caps <= 0).any():
+        raise ValueError("link capacities must be positive")
+    if demands is None:
+        dem = np.full(n_flows, np.inf)
+    else:
+        dem = np.asarray(demands, dtype=float)
+    if weights is None:
+        w = np.ones(n_flows)
+    else:
+        w = np.asarray(weights, dtype=float)
+    if n_flows == 0:
+        return np.zeros(0)
+
+    # Per-link and per-flow (index, multiplicity) lists in ascending index
+    # order with duplicates merged — exactly CSR canonical form for A and
+    # its transpose.
+    by_link: list[dict] = [dict() for _ in range(n_links)]
+    by_flow: list[dict] = [dict() for _ in range(n_flows)]
+    for f, links in enumerate(routes):
+        for l in links:
+            if not 0 <= l < n_links:
+                raise IndexError(f"flow {f} uses unknown link {l}")
+            by_link[l][f] = by_link[l].get(f, 0.0) + 1.0
+            by_flow[f][l] = by_flow[f].get(l, 0.0) + 1.0
+    link_entries = [sorted(d.items()) for d in by_link]
+    flow_entries = [sorted(d.items()) for d in by_flow]
+
+    def links_dot(x: np.ndarray) -> np.ndarray:  # A @ x
+        out = np.zeros(n_links)
+        for l, entries in enumerate(link_entries):
+            acc = 0.0
+            for f, mult in entries:
+                acc += mult * x[f]
+            out[l] = acc
+        return out
+
+    rates = np.zeros(n_flows)
+    active = np.ones(n_flows, dtype=bool)
+    remaining = caps.copy()
+
+    routeless = np.asarray(
+        [len(entries) == 0 for entries in flow_entries], dtype=bool
+    )
+    if routeless.any():
+        rates[routeless] = dem[routeless]
+        if not np.isfinite(dem[routeless]).all():
+            raise ValueError("routeless flow with infinite demand")
+        active[routeless] = False
+
+    for _ in range(n_links + n_flows + 1):
+        if not active.any():
+            break
+        act = active.astype(float)
+        link_weight = links_dot(w * act)
+        used = link_weight > 1e-15
+        if not used.any():
+            rates[active] = dem[active]
+            break
+        increment = np.full(n_links, np.inf)
+        increment[used] = remaining[used] / link_weight[used]
+        flow_room = np.full(n_flows, np.inf)
+        finite = active & np.isfinite(dem)
+        flow_room[finite] = (dem[finite] - rates[finite]) / w[finite]
+
+        link_min = increment.min()
+        flow_min = flow_room[active].min() if active.any() else np.inf
+        step = min(link_min, flow_min)
+        if not np.isfinite(step):
+            raise ValueError("unbounded allocation: elastic flow with no links")
+        step = max(step, 0.0)
+
+        delta = step * w * act
+        rates += delta
+        remaining -= links_dot(delta)
+        remaining = np.maximum(remaining, 0.0)
+
+        done = active & (rates >= dem - 1e-12)
+        active &= ~done
+        saturated = used & (remaining <= 1e-12)
+        if saturated.any():
+            for f in range(n_flows):
+                if active[f] and any(
+                    saturated[l] for l, _ in flow_entries[f]
+                ):
+                    active[f] = False
     else:  # pragma: no cover - loop bound is a theoretical guarantee
         raise RuntimeError("progressive filling failed to converge")
 

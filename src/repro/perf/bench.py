@@ -41,7 +41,7 @@ from repro.placement import (
     TangController,
 )
 
-SCHEMA = 1
+SCHEMA = 2
 #: Wall-time metrics guarded by the regression gate.
 GUARDED_METRICS = (
     "serial_wall_s",
@@ -54,6 +54,13 @@ GUARDED_METRICS = (
     "noop_wall_s",
     "on_wall_s",
 )
+#: Metrics whose baseline comparison is meaningless across machines with
+#: different core counts (the stale-baseline trap: a baseline recorded on
+#: a 1-core runner makes any parallel wall time look like a win or a
+#: regression depending on which side has more cores).  When a workload's
+#: recorded ``cpu_count`` differs from the baseline's, these are skipped
+#: with a warning instead of gated.
+CPU_SENSITIVE_METRICS = ("parallel_wall_s",)
 
 BENCH_FILES = {
     "placement": "BENCH_placement.json",
@@ -90,8 +97,9 @@ def _run_pod_epochs(
     controllers = [TangController() for _ in pods]
     placements = [p.current.copy() for p in pods]
     signatures = []
+    tracing = engine.trace is not None and engine.trace.enabled
     t0 = time.perf_counter()
-    for demand in demand_seq:
+    for epoch, demand in enumerate(demand_seq):
         full = PlacementProblem(
             server_cpu=base.server_cpu,
             server_mem=base.server_mem,
@@ -100,8 +108,12 @@ def _run_pod_epochs(
             current=np.vstack(placements),
         )
         epoch_pods = split_into_pods(full, pods[0].n_servers)
+        ctx = {"t": 60.0 * epoch, "epoch": str(epoch)} if tracing else None
         tasks = [
-            PlacementTask(key=f"pod-{i}", problem=p, controller=controllers[i])
+            PlacementTask(
+                key=f"pod-{i}", problem=p, controller=controllers[i],
+                trace_ctx=ctx,
+            )
             for i, p in enumerate(epoch_pods)
         ]
         solutions = engine.solve_batch(tasks)
@@ -110,9 +122,16 @@ def _run_pod_epochs(
             [(s.placement.tobytes(), s.load.tobytes()) for s in solutions]
         )
     wall = time.perf_counter() - t0
+    # Counters are read off the driver-side controllers: under a parallel
+    # engine they are written back from the worker-resident twins after
+    # every batch, so warm_seeded is observable in both modes.
     stats = {
         "maxflow_calls": sum(c.maxflow_calls for c in controllers),
         "warm_seeded": sum(c.warm_seeded for c in controllers),
+        "delta_tasks": engine.delta_tasks,
+        "full_tasks": engine.full_tasks,
+        "bytes_shipped_delta": engine.bytes_shipped_delta,
+        "bytes_shipped_full": engine.bytes_shipped_full,
     }
     return wall, signatures, stats
 
@@ -158,6 +177,10 @@ def bench_pod_epoch(
         "warm_seeded": serial_stats["warm_seeded"],
         "warm_seeded_parallel": parallel_stats["warm_seeded"],
         "pool_spawns": pool_spawns,
+        "delta_tasks": parallel_stats["delta_tasks"],
+        "full_tasks": parallel_stats["full_tasks"],
+        "bytes_shipped_delta": parallel_stats["bytes_shipped_delta"],
+        "bytes_shipped_full": parallel_stats["bytes_shipped_full"],
     }
 
 
@@ -442,6 +465,10 @@ def run_suite(
                 "trace_out": str(pathlib.Path(out_dir) / "TRACE_obs.jsonl"),
             }
         wid, metrics = fn(**kwargs)
+        # Recorded per workload (not just per file) so the regression
+        # gate can tell, workload by workload, whether the baseline came
+        # from a machine where parallel wall times are comparable.
+        metrics["cpu_count"] = os.cpu_count()
         workloads[wid] = metrics
     return {
         "schema": SCHEMA,
@@ -457,17 +484,34 @@ def run_suite(
 
 def compare_to_baseline(
     current: dict, baseline: dict, max_ratio: float
-) -> list[str]:
-    """Guarded wall-time metrics of workloads present in both runs; returns
-    human-readable violations (empty = no regression)."""
+) -> tuple[list[str], list[str]]:
+    """Guarded wall-time metrics of workloads present in both runs.
+
+    Returns ``(violations, skipped)``: human-readable regression
+    violations (empty = no regression) and warnings for CPU-sensitive
+    metrics that were *not* gated because the workload's recorded
+    ``cpu_count`` differs from the baseline's (comparing a parallel wall
+    time across machines with different core counts gates nothing real).
+    A baseline workload with no recorded ``cpu_count`` (schema 1) skips
+    the same way — it predates per-workload recording.
+    """
     violations = []
+    skipped = []
     base_workloads = baseline.get("workloads", {})
     for wid, metrics in current.get("workloads", {}).items():
         base = base_workloads.get(wid)
         if base is None:
             continue
+        cores_differ = metrics.get("cpu_count") != base.get("cpu_count")
         for key in GUARDED_METRICS:
             if key not in metrics or key not in base:
+                continue
+            if cores_differ and key in CPU_SENSITIVE_METRICS:
+                skipped.append(
+                    f"{wid} {key}: baseline cpu_count={base.get('cpu_count')} "
+                    f"!= current cpu_count={metrics.get('cpu_count')}; "
+                    "speedup gate skipped"
+                )
                 continue
             old, new = float(base[key]), float(metrics[key])
             if old > 0 and new > old * max_ratio:
@@ -475,7 +519,35 @@ def compare_to_baseline(
                     f"{wid} {key}: {new:.4f}s vs baseline {old:.4f}s "
                     f"(x{new / old:.2f} > x{max_ratio:.2f})"
                 )
-    return violations
+    return violations, skipped
+
+
+def speedup_gate(result: dict, min_speedup: float) -> tuple[list[str], list[str]]:
+    """Gate parallel workloads on absolute speedup vs serial.
+
+    Returns ``(failures, skipped)``.  A workload is gated only when the
+    machine it ran on has at least as many cores as the workload used
+    workers — demanding a 4-worker speedup from a 1-core container is the
+    stale-baseline trap in absolute form, so those are skipped with a
+    warning instead.
+    """
+    failures = []
+    skipped = []
+    for wid, metrics in result.get("workloads", {}).items():
+        if "speedup" not in metrics or "workers" not in metrics:
+            continue
+        cores = metrics.get("cpu_count") or 0
+        if cores < metrics["workers"]:
+            skipped.append(
+                f"{wid}: cpu_count={cores} < workers={metrics['workers']}; "
+                f"min-speedup gate skipped"
+            )
+            continue
+        if float(metrics["speedup"]) < min_speedup:
+            failures.append(
+                f"{wid}: speedup {metrics['speedup']} < required {min_speedup}"
+            )
+    return failures, skipped
 
 
 # ----------------------------------------------------------------- trends
@@ -518,6 +590,7 @@ def cmd_bench(
     max_regression: float,
     results_dir: Optional[str] = None,
     out=None,
+    min_speedup: Optional[float] = None,
 ) -> int:
     import sys
 
@@ -558,11 +631,22 @@ def cmd_bench(
                     f"{wid}: observability overhead "
                     f"{metrics.get('overhead_pct')}% exceeds 5%"
                 )
+        if min_speedup is not None:
+            gate_failures, gate_skipped = speedup_gate(result, min_speedup)
+            for s in gate_skipped:
+                print(f"  WARNING {s}", file=out)
+            for g in gate_failures:
+                print(f"  SPEEDUP {g}", file=out)
+            failures.extend(gate_failures)
         if baseline is not None:
             base_file = pathlib.Path(baseline) / filename
             if base_file.is_file():
                 base = json.loads(base_file.read_text())
-                violations = compare_to_baseline(result, base, max_regression)
+                violations, skipped = compare_to_baseline(
+                    result, base, max_regression
+                )
+                for s in skipped:
+                    print(f"  WARNING {s}", file=out)
                 for v in violations:
                     print(f"  REGRESSION {v}", file=out)
                 failures.extend(violations)

@@ -5,7 +5,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.network.maxmin import link_loads, maxmin_fair, weighted_maxmin_fair
+from repro.network.maxmin import (
+    link_loads,
+    maxmin_fair,
+    progressive_filling_dense,
+    weighted_maxmin_fair,
+)
 
 
 def test_single_link_even_split():
@@ -80,6 +85,61 @@ def test_zero_demand_flows():
     assert np.allclose(rates, [0.0, 10.0])
 
 
+# ------------------------------------------- sparse vs dense bit-identity
+
+
+def _leaf_spine_fabric(n_leaves, n_spines, n_flows, seed):
+    """An E3-style folded-Clos workload: per-leaf up/down links to every
+    spine; each inter-leaf flow takes src-leaf->spine up then
+    spine->dst-leaf down, intra-leaf flows take no fabric link."""
+    rng = np.random.default_rng(seed)
+    # Link ids: up[leaf][spine] then down[spine][leaf].
+    up = lambda leaf, spine: leaf * n_spines + spine
+    down = lambda spine, leaf: n_leaves * n_spines + spine * n_leaves + leaf
+    n_links = 2 * n_leaves * n_spines
+    capacities = rng.uniform(4.0, 10.0, n_links)
+    routes = []
+    for _ in range(n_flows):
+        src, dst = rng.integers(0, n_leaves, size=2)
+        if src == dst:
+            routes.append([])  # stays under one leaf switch
+        else:
+            spine = int(rng.integers(0, n_spines))  # ECMP hash pick
+            routes.append([up(int(src), spine), down(spine, int(dst))])
+    demands = rng.uniform(0.05, 3.0, n_flows)
+    weights = rng.uniform(0.5, 2.0, n_flows)
+    return routes, capacities, demands, weights
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_sparse_waterfill_bit_identical_to_dense_on_fabric(seed):
+    """The scipy.sparse matvec waterfill must produce byte-for-byte the
+    same allocation as the per-link Python-loop reference on leaf-spine
+    fabric workloads — ``array_equal``, not ``allclose``: golden trace
+    digests hash these rates, so even 1-ulp drift between the paths
+    would fork the digests."""
+    routes, caps, demands, weights = _leaf_spine_fabric(
+        n_leaves=6, n_spines=3, n_flows=120, seed=seed
+    )
+    sparse_rates = weighted_maxmin_fair(
+        routes, caps, demands=demands, weights=weights
+    )
+    dense_rates = progressive_filling_dense(
+        routes, caps, demands=demands, weights=weights
+    )
+    assert np.array_equal(sparse_rates, dense_rates)
+    # And the cached-incidence path (what FlowAllocation.solve uses) is
+    # the same computation again.
+    from repro.network.maxmin import _incidence
+
+    A = _incidence(routes, len(caps))
+    cached = weighted_maxmin_fair(
+        routes, caps, demands=demands, weights=weights,
+        incidence=A, incidence_t=A.T.tocsr(),
+    )
+    assert np.array_equal(cached, sparse_rates)
+
+
 # ------------------------------------------------------------------ property
 
 
@@ -123,6 +183,19 @@ def test_maxmin_invariants(instance):
             assert any(loads[l] >= caps[l] - 1e-6 for l in route), (
                 f"flow {f} is neither demand- nor link-limited"
             )
+
+
+@settings(max_examples=100, deadline=None)
+@given(fairness_instances())
+def test_sparse_waterfill_bit_identical_to_dense_random(instance):
+    routes, caps, demands, weights = instance
+    sparse_rates = weighted_maxmin_fair(
+        routes, caps, demands=demands, weights=weights
+    )
+    dense_rates = progressive_filling_dense(
+        routes, caps, demands=demands, weights=weights
+    )
+    assert np.array_equal(sparse_rates, dense_rates)
 
 
 @settings(max_examples=100, deadline=None)

@@ -49,6 +49,12 @@ def run_e14() -> str:
     return obs.trace.digest
 
 
+def run_e15(workers: int = 1) -> str:
+    from repro.experiments.e15_parallel_scaling import trace_digest
+
+    return trace_digest(workers, n_pods=4, pod_size=20, epochs=3, seed=0)
+
+
 def test_e01_golden_digest_serial_and_parallel():
     serial = run_e01(parallelism=1)
     parallel = run_e01(parallelism=2)
@@ -64,11 +70,21 @@ def test_e14_golden_digest():
     assert run_e14() == GOLDEN["e14_ckpt240_seed42"]
 
 
+def test_e15_golden_digest_across_parallelism():
+    """The delta-shipping engine's trace — dispatch classification,
+    payload sizes, merge CRCs — must be byte-identical at every worker
+    count, and match the committed digest."""
+    digests = {workers: run_e15(workers) for workers in (1, 2, 4)}
+    assert digests[1] == digests[2] == digests[4], digests
+    assert digests[1] == GOLDEN["e15_pods4_seed0"]
+
+
 if __name__ == "__main__":  # regenerate the goldens
     fresh = {
         "e01_small_seed0": run_e01(),
         "e05_balance_seed0": run_e05(),
         "e14_ckpt240_seed42": run_e14(),
+        "e15_pods4_seed0": run_e15(),
     }
     GOLDEN_PATH.write_text(json.dumps(fresh, indent=2, sort_keys=True) + "\n")
     print(json.dumps(fresh, indent=2, sort_keys=True))

@@ -154,26 +154,59 @@ def test_subscriber_sees_events_and_can_unsubscribe():
     assert [ev.kind for ev in seen] == ["a"]
 
 
-def test_trace_ctx_survives_pool_boundary():
-    """The placement worker echoes the task's trace context verbatim, so
-    pool.merge events can be stamped with epoch identity from the parent
-    process even though the solve ran in a worker."""
-    from repro.experiments.e02_placement_scalability import make_instance
-    from repro.perf.engine import PlacementTask, solve_placement_task
+def test_pool_events_carry_epoch_and_delta_sizes():
+    """The trace context never crosses the process boundary: the driver
+    emits pool.dispatch/pool.merge itself, stamped with epoch identity and
+    the delta/full shipping classification — and those events are
+    byte-identical whether the solves ran serial or parallel."""
+    from repro.experiments.e02_placement_scalability import (
+        make_instance,
+        split_into_pods,
+    )
+    from repro.perf.engine import PlacementEngine, PlacementTask
     from repro.placement import GreedyController
 
-    problem = make_instance(20, seed=0)
-    ctx = {"t": 120.0, "epoch": "2"}
-    task = PlacementTask(
-        key="pod-00", problem=problem, controller=GreedyController(),
-        trace_ctx=ctx,
-    )
-    solution, _state, echoed = solve_placement_task(task)
-    assert echoed == ctx
-    assert solution is not None
-    # Tasks without a context echo None, keeping the serial path cheap.
-    bare = PlacementTask(
-        key="pod-01", problem=problem, controller=GreedyController()
-    )
-    _, _, none_ctx = solve_placement_task(bare)
-    assert none_ctx is None
+    from repro.placement import PlacementProblem
+
+    def run(parallelism):
+        bus = TraceBus()
+        pods = split_into_pods(make_instance(40, seed=0), 20)
+        controllers = [GreedyController() for _ in pods]
+        with PlacementEngine(parallelism) as engine:
+            engine.trace = bus
+            for epoch in range(2):
+                tasks = [
+                    PlacementTask(
+                        key=f"pod-{i}", problem=p, controller=controllers[i],
+                        trace_ctx={"t": 60.0 * epoch, "epoch": str(epoch)},
+                    )
+                    for i, p in enumerate(pods)
+                ]
+                solutions = engine.solve_batch(tasks)
+                # Next epoch continues from the solved placements (as the
+                # real epoch loop does) with unchanged demand.
+                pods = [
+                    PlacementProblem(
+                        server_cpu=p.server_cpu,
+                        server_mem=p.server_mem,
+                        app_cpu_demand=p.app_cpu_demand,
+                        app_mem=p.app_mem,
+                        current=s.placement,
+                    )
+                    for p, s in zip(pods, solutions)
+                ]
+        return bus
+
+    serial, parallel = run(1), run(2)
+    assert serial.digest == parallel.digest
+    dispatches = [ev for ev in serial.events if ev.kind == "pool.dispatch"]
+    merges = [ev for ev in serial.events if ev.kind == "pool.merge"]
+    assert len(dispatches) == 2 and len(merges) == 4
+    first, second = dispatches
+    assert first.data["epoch"] == "0" and first.data["full"] == ["pod-0", "pod-1"]
+    assert first.data["delta"] == [] and first.data["bytes_full"] > 0
+    # Epoch 2 re-solves the unchanged pods: demand-only deltas.
+    assert second.data["delta"] == ["pod-0", "pod-1"]
+    assert 0 < second.data["bytes_delta"] < first.data["bytes_full"]
+    assert {m.data["shipped"] for m in merges} == {"full", "delta"}
+    assert all(m.data["payload_bytes"] > 0 for m in merges)

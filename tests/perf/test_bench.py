@@ -34,6 +34,16 @@ def test_pod_epoch_workload_is_deterministic():
     assert metrics["pods"] == 4
     assert metrics["pool_spawns"] == 1
     assert metrics["serial_wall_s"] > 0
+    # The drifting multi-epoch workload must warm-seed inside the
+    # worker-resident controllers — the regression that motivated the
+    # resident engine was warm_seeded_parallel == 0 (state reset on
+    # every ship).
+    assert metrics["warm_seeded_parallel"] > 0
+    assert metrics["warm_seeded_parallel"] == metrics["warm_seeded"]
+    # Steady-state epochs ship demand-only deltas, first epoch full.
+    assert metrics["full_tasks"] == metrics["pods"]
+    assert metrics["delta_tasks"] == metrics["pods"] * (metrics["epochs"] - 1)
+    assert metrics["bytes_shipped_delta"] < metrics["bytes_shipped_full"]
 
 
 def test_tang_warm_workload_value_parity():
@@ -53,6 +63,12 @@ def test_run_suite_schema(tiny_fixtures):
     assert result["schema"] == bench.SCHEMA
     assert result["suite"] == "placement"
     assert len(result["workloads"]) == len(TINY_PLACEMENT)
+    # Every workload records the core count it ran on (the cpu-aware
+    # regression gate keys off this, not the file-level field).
+    import os
+
+    for metrics in result["workloads"].values():
+        assert metrics["cpu_count"] == os.cpu_count()
 
 
 def test_compare_to_baseline_flags_regressions():
@@ -64,10 +80,56 @@ def test_compare_to_baseline_flags_regressions():
             "w[3]": {"wall_s": 99.0},  # not in baseline: skipped
         }
     }
-    violations = bench.compare_to_baseline(current, baseline, max_ratio=2.0)
+    violations, skipped = bench.compare_to_baseline(current, baseline, max_ratio=2.0)
     assert len(violations) == 1
     assert "w[1]" in violations[0]
-    assert bench.compare_to_baseline(current, baseline, max_ratio=3.0) == []
+    assert skipped == []
+    assert bench.compare_to_baseline(current, baseline, max_ratio=3.0) == ([], [])
+
+
+def test_compare_to_baseline_skips_parallel_walls_across_core_counts():
+    """The stale-baseline trap: a parallel wall time recorded on a
+    different core count is warned about and not gated; same-core
+    baselines still gate it, and serial walls always gate."""
+    baseline = {
+        "workloads": {
+            "w[1]": {"parallel_wall_s": 1.0, "serial_wall_s": 1.0, "cpu_count": 1}
+        }
+    }
+    current = {
+        "workloads": {
+            "w[1]": {"parallel_wall_s": 9.0, "serial_wall_s": 1.0, "cpu_count": 4}
+        }
+    }
+    violations, skipped = bench.compare_to_baseline(current, baseline, max_ratio=2.0)
+    assert violations == []
+    assert len(skipped) == 1 and "cpu_count" in skipped[0]
+
+    # Same machine shape: the parallel regression is caught again.
+    current["workloads"]["w[1]"]["cpu_count"] = 1
+    violations, skipped = bench.compare_to_baseline(current, baseline, max_ratio=2.0)
+    assert len(violations) == 1 and "parallel_wall_s" in violations[0]
+    assert skipped == []
+
+    # A schema-1 baseline (no recorded cpu_count) also skips.
+    del baseline["workloads"]["w[1]"]["cpu_count"]
+    violations, skipped = bench.compare_to_baseline(current, baseline, max_ratio=2.0)
+    assert violations == []
+    assert len(skipped) == 1
+
+
+def test_speedup_gate_skips_on_undersized_runner():
+    result = {
+        "workloads": {
+            "fast": {"speedup": 2.4, "workers": 4, "cpu_count": 8},
+            "slow": {"speedup": 0.7, "workers": 4, "cpu_count": 8},
+            "tiny": {"speedup": 0.3, "workers": 4, "cpu_count": 1},
+            "nothreads": {"speedup": 0.1},  # no workers key: not gated
+        }
+    }
+    failures, skipped = bench.speedup_gate(result, min_speedup=1.0)
+    assert len(failures) == 1 and "slow" in failures[0]
+    assert len(skipped) == 1 and "tiny" in skipped[0]
 
 
 def test_trend_lines(tmp_path):
@@ -102,6 +164,7 @@ def test_cmd_bench_writes_json_and_gates(tiny_fixtures, tmp_path):
         max_regression=2.0,
         results_dir=str(tmp_path / "no-results"),
         out=out,
+        min_speedup=0.0,  # speedup >= 0 always: gates nothing, but runs
     )
     assert rc == 0
     for filename in bench.BENCH_FILES.values():
