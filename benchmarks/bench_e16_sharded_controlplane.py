@@ -1,0 +1,30 @@
+"""E16 — sharded control-plane benchmark.
+
+Regenerates: reconfiguration-storm throughput vs shard count, chaos-case
+conflict/rollback counts, and gossip convergence rounds.  Simulated-time
+results are deterministic across hosts; the acceptance claims (monotonic
+throughput, every chaos case converging to a clean six-way drift report)
+must hold everywhere.
+"""
+
+from conftest import emit
+
+from repro.experiments import e16_sharded_control_plane
+
+
+def test_e16_sharded_control_plane(benchmark):
+    result = benchmark.pedantic(
+        lambda: e16_sharded_control_plane.run(seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit([result.table()], "e16_sharded_control_plane")
+    # Scaling contract: shard 1 is the serialized baseline; more shards
+    # must drain the same storm strictly faster (simulated time).
+    assert result.throughput_monotonic
+    # Convergence contract: seeded crash/partition chaos always gossips
+    # back to a clean drift report, and no completed work is unaccounted.
+    assert all(c.converged for c in result.chaos)
+    assert all(c.completed == c.submitted - c.lost for c in result.chaos)
+    assert result.integrated is not None and result.integrated.clean
+    assert result.accepted

@@ -38,6 +38,12 @@ EXPERIMENTS: dict[str, tuple[str, str, dict, str]] = {
     "e13": ("e13_failure_recovery", "run", {}, "fault injection + graceful recovery"),
     "e14": ("e14_control_plane", "run", {}, "control-plane crash safety + anti-entropy"),
     "e15": ("e15_parallel_scaling", "run", {}, "parallel pod-epoch scaling sweep"),
+    "e16": (
+        "e16_sharded_control_plane",
+        "run",
+        {},
+        "sharded control plane: throughput / conflicts / convergence",
+    ),
     "a1": ("ablations", "run_pod_size", {}, "ablation: pod size"),
     "a2": ("ablations", "run_drain_ablation", {}, "ablation: K2 drain-first"),
     "a3": ("ablations", "run_damping_ablation", {}, "ablation: K1 damping"),
@@ -123,6 +129,7 @@ def cmd_controlplane(
     seed: int,
     duration_s: float,
     checkpoint_intervals: list[float] | None,
+    shards: list[int] | None = None,
     out=None,
 ) -> int:
     """Run the control-plane crash-safety scenario and print its report.
@@ -130,8 +137,24 @@ def cmd_controlplane(
     Exit status 0 means the scripted manager crash mid-``move_vip`` was
     recovered via journal replay and the injected drift was repaired by
     the anti-entropy reconciler within its convergence bound.
+
+    With ``--shards`` the sharded scenario (E16) runs instead: a
+    reconfiguration storm plus seeded shard crashes / partitions, and
+    exit 0 means throughput scaled monotonically with shard count and
+    every chaos case converged to a clean drift report.
     """
     out = out if out is not None else sys.stdout
+    if shards:
+        from repro.experiments.e16_sharded_control_plane import run as run_e16
+
+        try:
+            result = run_e16(seed=seed, shards=tuple(sorted(set(shards))))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(file=out)
+        print(result.table().render(), file=out)
+        return 0 if result.accepted else 1
     from repro.experiments.e14_control_plane import DEFAULT_INTERVALS, run as run_e14
 
     intervals = (
@@ -254,10 +277,19 @@ def main(argv: list[str] | None = None) -> int:
         metavar="SECONDS",
         help="checkpoint interval to sweep (repeatable; default 60/240/960)",
     )
+    cp_p.add_argument(
+        "--shards",
+        type=int,
+        action="append",
+        dest="shards",
+        metavar="N",
+        help="run the sharded scenario (E16) at this shard count instead "
+        "(repeatable, e.g. --shards 1 --shards 2 --shards 4)",
+    )
     bench_p = sub.add_parser(
         "bench",
         help="run pinned perf workloads; writes BENCH_placement.json / "
-        "BENCH_network.json",
+        "BENCH_network.json / BENCH_controlplane.json",
     )
     bench_p.add_argument(
         "--quick",
@@ -322,7 +354,7 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.command == "controlplane":
         return cmd_controlplane(
-            args.seed, args.duration, args.checkpoint_intervals
+            args.seed, args.duration, args.checkpoint_intervals, args.shards
         )
     if args.command == "bench":
         from repro.perf.bench import cmd_bench

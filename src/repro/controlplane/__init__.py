@@ -11,19 +11,40 @@ package gives it the survival kit real mega-datacenter controllers carry:
 * an :class:`AntiEntropyReconciler` that periodically diffs intended
   state (registries, DNS records, VM inventories) against actual state
   (switch tables, resolver answers) and repairs drift through the
-  existing knob paths.
+  existing knob paths;
+* a :class:`RetryPolicy` for transient failures — bounded exponential
+  backoff whose jitter is a pure hash of the retry key, so reruns stay
+  byte-identical;
+* a :class:`ShardedControlPlane` that partitions VIP/RIP ownership
+  across N manager shards (deterministic :class:`ShardOwnershipMap`,
+  epoch-fenced handoffs) and keeps them eventually consistent through
+  gossip anti-entropy, tolerating per-shard crashes and shard<->shard
+  partitions.
 """
 
 from repro.controlplane.checkpoint import Checkpoint, CheckpointStore
 from repro.controlplane.journal import JournalRecord, OpPhase, WriteAheadJournal
 from repro.controlplane.reconciler import AntiEntropyReconciler, DriftReport
+from repro.controlplane.retry import RetryPolicy, TransientError
+from repro.controlplane.sharding import (
+    ControlPlaneShard,
+    ShardDriftReport,
+    ShardedControlPlane,
+    ShardOwnershipMap,
+)
 
 __all__ = [
     "AntiEntropyReconciler",
     "Checkpoint",
     "CheckpointStore",
+    "ControlPlaneShard",
     "DriftReport",
     "JournalRecord",
     "OpPhase",
+    "RetryPolicy",
+    "ShardDriftReport",
+    "ShardOwnershipMap",
+    "ShardedControlPlane",
+    "TransientError",
     "WriteAheadJournal",
 ]

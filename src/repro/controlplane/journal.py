@@ -54,7 +54,7 @@ class JournalRecord:
 class WriteAheadJournal:
     """Append-only log of :class:`JournalRecord` with monotonic epochs."""
 
-    def __init__(self, trace=None, clock=None) -> None:
+    def __init__(self, trace=None, clock=None, name: str = "") -> None:
         self._records: list[JournalRecord] = []
         self._next_epoch = 1
         #: Appends over the journal's lifetime (truncation does not reset).
@@ -63,6 +63,11 @@ class WriteAheadJournal:
         #: a ``journal.commit`` event the auditor checks for monotonicity.
         self.trace = trace
         self.clock = clock
+        #: Identifies this journal in trace events when several coexist
+        #: (one per control-plane shard); epochs are monotonic *per
+        #: journal*, so the auditor keys its check on this name.  The
+        #: empty default keeps single-journal traces byte-identical.
+        self.name = name
 
     # -- write path ---------------------------------------------------------
     def append(self, kind: str, app: str, **payload: Any) -> JournalRecord:
@@ -72,10 +77,11 @@ class WriteAheadJournal:
         self._records.append(record)
         self.appended += 1
         if self.trace is not None and self.trace.enabled:
+            extra = {"shard": self.name} if self.name else {}
             self.trace.emit(
                 "journal.commit",
                 t=self.clock() if self.clock is not None else 0.0,
-                epoch=record.epoch, op=kind, app=app,
+                epoch=record.epoch, op=kind, app=app, **extra,
             )
         return record
 

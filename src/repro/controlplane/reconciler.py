@@ -49,6 +49,9 @@ class DriftReport:
     #: Repairs actually performed (<= detected when repair is impossible,
     #: e.g. no healthy switch has slots for a stranded VIP).
     repaired: int = 0
+    #: VIPs whose drift went unrepaired for more than ``stuck_after_rounds``
+    #: consecutive passes — reported loudly instead of silently skipped.
+    stuck_vips: list[str] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
 
     @property
@@ -78,9 +81,12 @@ class AntiEntropyReconciler:
         interval_s: float = 30.0,
         monitor: Optional["RecoveryMonitor"] = None,
         repair: bool = True,
+        stuck_after_rounds: int = 3,
     ):
         if interval_s <= 0:
             raise ValueError("reconciler interval must be positive")
+        if stuck_after_rounds < 1:
+            raise ValueError("stuck_after_rounds must be at least 1")
         self.dc = dc
         self.env = dc.env
         self.interval_s = interval_s
@@ -95,6 +101,13 @@ class AntiEntropyReconciler:
         self.convergence_times: list[float] = []
         self._dirty_since: Optional[float] = None
         self._busy: set[str] = set()
+        #: A VIP detected as drifted but *not* repaired in K consecutive
+        #: passes (K > stuck_after_rounds) is stuck — something structural
+        #: (no healthy switch, no free slots) keeps the repair from
+        #: landing, and retrying quietly forever would hide it.
+        self.stuck_after_rounds = stuck_after_rounds
+        self._unresolved_streak: dict[str, int] = {}
+        self._unresolved: set[str] = set()
         self._proc = self.env.process(self._run())
 
     def _run(self):
@@ -111,10 +124,13 @@ class AntiEntropyReconciler:
             # Anti-entropy defers to crash recovery: intended state is not
             # trustworthy until the journal tail has been replayed, and a
             # concurrent "repair" would race the replay's applies.
+            # Streaks are left untouched: a skipped pass says nothing
+            # about whether a repair would have landed.
             report.notes.append("skipped: manager down, recovery owns the state")
             self.reports.append(report)
             return report
         self._busy = self._busy_vips()
+        self._unresolved = set()
         self._reconcile_vip_placement(report)
         self._reconcile_rip_tables(report)
         self._reconcile_orphans(report)
@@ -122,11 +138,29 @@ class AntiEntropyReconciler:
         self._reconcile_dns(report)
         self._reconcile_vm_inventory(report)
 
+        for vip in self._unresolved:
+            self._unresolved_streak[vip] = self._unresolved_streak.get(vip, 0) + 1
+        for vip in list(self._unresolved_streak):
+            if vip not in self._unresolved:
+                del self._unresolved_streak[vip]
+        report.stuck_vips = sorted(
+            vip
+            for vip, streak in self._unresolved_streak.items()
+            if streak > self.stuck_after_rounds
+        )
+
         self.passes += 1
         self.reports.append(report)
         self.drift_detected += report.detected
         self.drift_repaired += report.repaired
         monitor = self._monitor()
+        if report.stuck_vips:
+            report.notes.append(
+                f"stuck >{self.stuck_after_rounds} rounds: "
+                + ", ".join(report.stuck_vips)
+            )
+            if monitor is not None:
+                monitor.note_stuck_vips(report.stuck_vips)
         if report.detected > 0:
             if self._dirty_since is None:
                 self._dirty_since = report.t
@@ -178,6 +212,7 @@ class AntiEntropyReconciler:
             if len(actual) > 1:
                 report.vip_duplicate += 1
                 if not self.repair:
+                    self._unresolved.add(vip)
                     continue
                 keep = info.switch if info.switch in actual else actual[0]
                 for name in actual:
@@ -193,6 +228,8 @@ class AntiEntropyReconciler:
                 if self.repair:
                     dc._on_vip_rehomed(vip, actual[0])
                     report.repaired += 1
+                else:
+                    self._unresolved.add(vip)
             else:
                 # Stranded: on no switch and not in transfer (e.g. an
                 # aborted half-configured move).  Recreate the group on a
@@ -200,6 +237,7 @@ class AntiEntropyReconciler:
                 # registry.
                 report.vip_missing += 1
                 if not self.repair:
+                    self._unresolved.add(vip)
                     continue
                 candidates = [
                     sw
@@ -208,6 +246,7 @@ class AntiEntropyReconciler:
                 ]
                 if not candidates:
                     report.notes.append(f"no healthy switch for stranded {vip}")
+                    self._unresolved.add(vip)
                     continue
                 target = min(candidates, key=lambda s: (s.utilization, s.name))
                 target.add_vip(vip, info.app)
@@ -232,9 +271,11 @@ class AntiEntropyReconciler:
                 continue
             report.rip_missing += 1
             if not self.repair:
+                self._unresolved.add(info.vip)
                 continue
             if sw.rip_slots_free <= 0:
                 report.notes.append(f"no RIP slot on {sw.name} for {rip}")
+                self._unresolved.add(info.vip)
                 continue
             weight = (
                 sum(entry.rips.values()) / len(entry.rips) if entry.rips else 1.0
@@ -341,3 +382,8 @@ class AntiEntropyReconciler:
     @property
     def last_convergence_s(self) -> Optional[float]:
         return self.convergence_times[-1] if self.convergence_times else None
+
+    @property
+    def stuck_vips(self) -> list[str]:
+        """VIPs the latest pass reported as stuck."""
+        return list(self.reports[-1].stuck_vips) if self.reports else []

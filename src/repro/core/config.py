@@ -77,6 +77,16 @@ class PlatformConfig:
     #: Period of the anti-entropy reconciliation pass.
     reconcile_interval_s: float = 30.0
 
+    # -- control-plane sharding (repro.controlplane.sharding) ------------------
+    #: Number of VIP/RIP manager shards.  1 keeps the serialized paper
+    #: manager; >1 partitions app ownership across shards (each with its
+    #: own journal/checkpoints) behind the eventually consistent
+    #: :class:`~repro.controlplane.sharding.ShardedControlPlane` facade.
+    control_plane_shards: int = 1
+    #: Period of the sharded plane's anti-entropy gossip rounds (0 leaves
+    #: gossip to explicit ``converge()`` calls).
+    shard_gossip_interval_s: float = 30.0
+
     # -- epochs -------------------------------------------------------------------
     epoch_s: float = 60.0
 
@@ -109,3 +119,7 @@ class PlatformConfig:
             raise ValueError("control-plane timing parameters out of range")
         if self.reconcile_interval_s <= 0:
             raise ValueError("reconcile_interval_s must be positive")
+        if self.control_plane_shards < 1:
+            raise ValueError("control_plane_shards must be at least 1")
+        if self.shard_gossip_interval_s < 0:
+            raise ValueError("shard_gossip_interval_s must be non-negative")

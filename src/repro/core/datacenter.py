@@ -31,7 +31,12 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.analysis.stats import max_mean_ratio
-from repro.controlplane import AntiEntropyReconciler, CheckpointStore, WriteAheadJournal
+from repro.controlplane import (
+    AntiEntropyReconciler,
+    CheckpointStore,
+    ShardedControlPlane,
+    WriteAheadJournal,
+)
 from repro.core.config import PlatformConfig
 from repro.core.global_manager import GlobalManager
 from repro.core.pod import Pod
@@ -84,6 +89,7 @@ class MegaDataCenter:
         proactive_exposure: bool = False,
         serialized_reconfig: bool = False,
         crash_safe_manager: bool = False,
+        control_plane_shards: Optional[int] = None,
         topology: Optional["PortLand"] = None,
         parallelism: int = 1,
         engine: Optional[PlacementEngine] = None,
@@ -116,6 +122,21 @@ class MegaDataCenter:
         self.crash_safe_manager = crash_safe_manager
         if crash_safe_manager:
             serialized_reconfig = True
+        # Sharded control plane (repro.controlplane.sharding): >1 shard
+        # implies the serialized path *and* crash-safe semantics — each
+        # shard carries its own journal/checkpoints, so the facade-level
+        # self.journal/self.checkpoints stay None.
+        self.control_plane_shards = (
+            control_plane_shards
+            if control_plane_shards is not None
+            else self.config.control_plane_shards
+        )
+        if self.control_plane_shards < 1:
+            raise ValueError("control_plane_shards must be at least 1")
+        sharded = self.control_plane_shards > 1
+        if sharded:
+            serialized_reconfig = True
+            self.crash_safe_manager = crash_safe_manager = True
         self.env = Environment()
         self.specs = {a.app_id: a for a in apps}
 
@@ -214,12 +235,32 @@ class MegaDataCenter:
         #: crashes, unlike the manager's volatile queue and registries.
         self.journal: Optional[WriteAheadJournal] = None
         self.checkpoints: Optional[CheckpointStore] = None
-        if crash_safe_manager:
+        if crash_safe_manager and not sharded:
             self.journal = WriteAheadJournal(
                 trace=self.obs.trace, clock=lambda: self.env.now
             )
             self.checkpoints = CheckpointStore()
-        if serialized_reconfig:
+        if sharded:
+            self.viprip = ShardedControlPlane(
+                self.env,
+                sorted(self.switches.values(), key=lambda s: s.name),
+                self.vip_pool,
+                self.control_plane_shards,
+                reconfig_s=self.config.switch_reconfig_s,
+                hosting_lookup=lambda app: {
+                    v: self.state.vips[v].switch
+                    for v in self.state.app_vips.get(app, [])
+                },
+                on_vip_moved=self._on_vip_rehomed,
+                rehome_timeout_s=self.config.fault_rehome_timeout_s,
+                rehome_backoff_s=self.config.fault_rehome_backoff_s,
+                checkpoint_interval_s=self.config.checkpoint_interval_s,
+                cutover_s=self.config.manager_cutover_s,
+                replay_record_s=self.config.journal_replay_s,
+                gossip_interval_s=self.config.shard_gossip_interval_s,
+                trace=self.obs.trace,
+            )
+        elif serialized_reconfig:
             self.viprip = VipRipManager(
                 self.env,
                 sorted(self.switches.values(), key=lambda s: s.name),
@@ -318,9 +359,16 @@ class MegaDataCenter:
         li = 0
         for app_id in sorted(self.specs):
             spec = self.specs[app_id]
+            # Under a sharded control plane an app's VIPs must land on its
+            # owner shard's switch slice, or every later reconfiguration
+            # would start with a cross-shard migration.
+            if isinstance(self.viprip, ShardedControlPlane):
+                candidates = self.viprip.switches_for_app(app_id)
+            else:
+                candidates = switch_list
             weights = {}
             for _ in range(spec.n_vips):
-                switch = min(switch_list, key=lambda s: (s.num_vips, s.name))
+                switch = min(candidates, key=lambda s: (s.num_vips, s.name))
                 vip = self.vip_pool.allocate()
                 switch.add_vip(vip, app_id)
                 link = link_names[li % len(link_names)]
@@ -773,17 +821,30 @@ class MegaDataCenter:
         checkpoint and replays the journal tail.  The returned event fires
         once replay is complete (the MTTR the injector measures)."""
         done = Event(self.env)
-        if self.viprip is None or self.viprip.crashed:
+        if self.viprip is None or self._manager_is_crashed(name):
             done.succeed()
             return done
         before_lost = self.viprip.lost
-        self.viprip.crash()
+        self._crash_manager_target(name)
         self.manager_crashes += 1
         lost = self.viprip.lost - before_lost
         if self.recovery_monitor is not None and lost:
             self.recovery_monitor.note_lost_reconfigurations(lost)
         self.env.process(self._restart_manager(done))
         return done
+
+    def _manager_is_crashed(self, name: str) -> bool:
+        """Sharded planes crash per shard (target ``shard-k``); the
+        serialized manager is one unit whatever the target says."""
+        if isinstance(self.viprip, ShardedControlPlane):
+            return self.viprip.is_crashed(name)
+        return self.viprip.crashed
+
+    def _crash_manager_target(self, name: str) -> None:
+        if isinstance(self.viprip, ShardedControlPlane):
+            self.viprip.crash(name)
+        else:
+            self.viprip.crash()
 
     def _restart_manager(self, done: Event):
         yield self.env.timeout(self.config.manager_restart_s)
@@ -804,6 +865,29 @@ class MegaDataCenter:
     def _force_recover_manager(self, done: Event):
         yield from self.viprip.recover(failed=set(self.state.failed_switches))
         done.succeed()
+
+    def partition_shards(self, target: str) -> Event:
+        """Sever the coordination path between two control-plane shards
+        (``shard_partition`` fault; target ``"shard-i:shard-j"``).  The
+        plane keeps serving both sides — divergence is reconciled by the
+        gossip rounds once :meth:`heal_shards` runs."""
+        done = Event(self.env)
+        plane = self.viprip
+        if isinstance(plane, ShardedControlPlane):
+            a, _, b = target.partition(":")
+            plane.partition(a, b)
+        done.succeed()
+        return done
+
+    def heal_shards(self, target: str) -> Event:
+        """Heal a shard partition and let anti-entropy converge."""
+        done = Event(self.env)
+        plane = self.viprip
+        if isinstance(plane, ShardedControlPlane):
+            a, _, b = target.partition(":")
+            plane.heal(a, b)
+        done.succeed()
+        return done
 
     @property
     def reconfig_retries(self) -> int:

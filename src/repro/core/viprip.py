@@ -30,6 +30,7 @@ from itertools import count
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.controlplane.journal import OpPhase
+from repro.controlplane.retry import RetryPolicy, TransientError
 from repro.core.switch_pods import FlatSwitchManager, Selection
 from repro.lbswitch.addresses import AddressPool
 from repro.lbswitch.switch import LBSwitch, VipEntry
@@ -94,6 +95,9 @@ class VipRipRequest:
     weight: float = 1.0
     #: Source switch of a ``move_vip`` (defaults to the registry's view).
     switch: Optional[str] = None
+    #: Transient-failure retries already consumed (see
+    #: :class:`repro.controlplane.retry.RetryPolicy`).
+    attempts: int = 0
     done: Optional[Event] = field(default=None, repr=False)
     result: Any = None
 
@@ -141,6 +145,7 @@ class VipRipManager:
         replay_record_s: float = 0.2,
         restore_s: float = 1.0,
         state_snapshot: Optional[Callable[[], dict]] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self.env = env
         self.switches = {s.name: s for s in switches}
@@ -168,6 +173,13 @@ class VipRipManager:
         self.processed = 0
         self.rejected = 0
         self.retries = 0
+        #: Bounded-backoff requeues of requests whose handler raised
+        #: :class:`~repro.controlplane.retry.TransientError`.
+        self.transient_retries = 0
+        #: Retry discipline for transient request failures.
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        #: Requests currently sitting out a transient-failure backoff.
+        self._retrying: list[VipRipRequest] = []
         #: Requests whose handler raised; each fails its ``done`` event
         #: with the error instead of wedging the serialized processor.
         self.errored = 0
@@ -250,6 +262,9 @@ class VipRipManager:
         for _, _, req in self._heap:
             if req.vip is not None:
                 busy.add(req.vip)
+        for req in self._retrying:
+            if req.vip is not None:
+                busy.add(req.vip)
         if self.journal is not None:
             for rec in self.journal.unsettled:
                 vip = rec.payload.get("vip")
@@ -288,6 +303,8 @@ class VipRipManager:
             self._cp_proc.interrupt("manager crash")
         self._cp_proc = None
         dropped = [req for _, _, req in self._heap]
+        dropped.extend(self._retrying)
+        self._retrying = []
         if self._inflight is not None:
             dropped.append(self._inflight)
             self._inflight = None
@@ -411,14 +428,25 @@ class VipRipManager:
                 except Interrupt:
                     raise
                 except Exception as exc:
+                    self.busy_s += self.env.now - started
+                    self._inflight = None
+                    if isinstance(exc, TransientError) and self.retry_policy.should_retry(
+                        req.attempts + 1
+                    ):
+                        # Transient failure within budget: requeue after a
+                        # deterministic backoff instead of failing the
+                        # requester on the first hiccup.
+                        req.attempts += 1
+                        self.transient_retries += 1
+                        self._retrying.append(req)
+                        self.env.process(self._requeue_after_backoff(req))
+                        continue
                     # Contain per-request failures: the serialized
                     # processor must survive one bad request.  The
                     # requester sees the error through its done event
                     # (defused so an ignored event cannot crash the
                     # kernel); everyone queued behind keeps being served.
                     self.errored += 1
-                    self.busy_s += self.env.now - started
-                    self._inflight = None
                     if req.done is not None and not req.done.triggered:
                         req.done.fail(exc)
                         req.done.defuse()
@@ -435,6 +463,31 @@ class VipRipManager:
                     req.done.succeed(req.result)
         except Interrupt:
             return  # crashed; recover() starts a fresh processor
+
+    def _requeue_after_backoff(self, req: VipRipRequest):
+        """Sleep out a transient-failure backoff, then requeue *req*.
+
+        The delay is a pure function of the request identity and attempt
+        number, so identical runs replay identical retry times.  A crash
+        during the backoff drops the request exactly like a queued one
+        (its ``done`` completes with ``None`` and counts as lost)."""
+        yield self.env.timeout(
+            self.retry_policy.backoff_s(
+                req.attempts, req.kind, req.app, req.vip or req.rip or ""
+            )
+        )
+        if req in self._retrying:
+            self._retrying.remove(req)
+        if req.done is not None and req.done.triggered:
+            return  # dropped by a crash while backing off
+        if self.crashed:
+            self.lost += 1
+            if req.done is not None and not req.done.triggered:
+                req.done.succeed(None)
+            return
+        heapq.heappush(self._heap, (req.priority, next(self._seq), req))
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
 
     def _process(self, req: VipRipRequest):
         try:
@@ -478,11 +531,13 @@ class VipRipManager:
         else:
             vip_map = self.registry.get(req.app, {})
         # A VIP can be mid-transfer (off both switches); only switches
-        # actually holding one of the app's VIPs can take the RIP.
+        # actually holding one of the app's VIPs can take the RIP.  Under
+        # sharding the lookup may name switches owned by other shards —
+        # those are simply not candidates here.
         hosting = [
             s
-            for s in (self.switches[name] for name in vip_map.values())
-            if s.vips_of_app(req.app) and s.name not in self.failed
+            for s in (self.switches.get(name) for name in vip_map.values())
+            if s is not None and s.vips_of_app(req.app) and s.name not in self.failed
         ]
         selection = self.selector.select_for_rip(hosting, exclude=self.failed)
         yield from self._charge(selection)

@@ -27,6 +27,8 @@ __all__ = [
     "e12_quality",
     "e13_failure_recovery",
     "e14_control_plane",
+    "e15_parallel_scaling",
+    "e16_sharded_control_plane",
 ]
 
 

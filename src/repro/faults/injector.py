@@ -64,6 +64,8 @@ class FaultInjector:
             FaultKind.LINK_UP: self.dc.recover_link,
             FaultKind.MANAGER_CRASH: self.dc.crash_manager,
             FaultKind.MANAGER_RECOVER: self.dc.recover_manager,
+            FaultKind.SHARD_PARTITION: self.dc.partition_shards,
+            FaultKind.SHARD_HEAL: self.dc.heal_shards,
         }[ev.kind]
         done = handler(ev.target)
         if ev.kind.is_failure:

@@ -50,6 +50,11 @@ class RecoveryMonitor:
     convergence_s: Tally = field(
         default_factory=lambda: Tally("reconciler-convergence")
     )
+    #: VIPs the reconciler reported stuck (drift unrepaired for more than
+    #: its ``stuck_after_rounds`` consecutive passes).
+    stuck_vips: set[str] = field(default_factory=set)
+    #: How many times a stuck-VIP report came in (a vip can re-stick).
+    stuck_vip_reports: int = 0
     _open: dict[tuple[str, str], FaultRecord] = field(default_factory=dict)
     _mttr: dict[str, Tally] = field(default_factory=dict)
 
@@ -88,6 +93,12 @@ class RecoveryMonitor:
     def note_convergence(self, dt_s: float) -> None:
         """Called by the reconciler on the first clean pass after drift."""
         self.convergence_s.observe(dt_s)
+
+    def note_stuck_vips(self, vips) -> None:
+        """Called by the reconciler when drift on these VIPs persisted
+        beyond its stuck threshold."""
+        self.stuck_vips.update(vips)
+        self.stuck_vip_reports += 1
 
     # -- views --------------------------------------------------------------
     @property
@@ -136,5 +147,10 @@ class RecoveryMonitor:
             table.add_note(
                 f"reconciler convergence: mean {self.convergence_s.mean:.1f} s, "
                 f"max {self.convergence_s.maximum:.1f} s"
+            )
+        if self.stuck_vips:
+            table.add_note(
+                f"stuck VIPs (drift unrepaired past threshold): "
+                f"{', '.join(sorted(self.stuck_vips))}"
             )
         return table

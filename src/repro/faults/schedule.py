@@ -31,6 +31,12 @@ class FaultKind(str, enum.Enum):
     #: journal replay (``repro.controlplane``), not hardware repair.
     MANAGER_CRASH = "manager_crash"
     MANAGER_RECOVER = "manager_recover"
+    #: A sharded control plane loses the coordination path between two
+    #: shards (target: ``"shard-i:shard-j"``).  Requests keep flowing —
+    #: stale reads and conflicting claims are tolerated — and healing
+    #: lets the gossip rounds converge the divergence away.
+    SHARD_PARTITION = "shard_partition"
+    SHARD_HEAL = "shard_heal"
 
     @property
     def is_failure(self) -> bool:
@@ -39,6 +45,7 @@ class FaultKind(str, enum.Enum):
             FaultKind.SWITCH_FAIL,
             FaultKind.LINK_DOWN,
             FaultKind.MANAGER_CRASH,
+            FaultKind.SHARD_PARTITION,
         )
 
     @property
@@ -57,6 +64,7 @@ _RECOVERY_OF = {
     FaultKind.SWITCH_FAIL: FaultKind.SWITCH_RECOVER,
     FaultKind.LINK_DOWN: FaultKind.LINK_UP,
     FaultKind.MANAGER_CRASH: FaultKind.MANAGER_RECOVER,
+    FaultKind.SHARD_PARTITION: FaultKind.SHARD_HEAL,
 }
 
 

@@ -79,7 +79,11 @@ class InvariantAuditor:
         self.violations: list[Violation] = []
         self.events_seen = 0
         self.audits_run = 0
-        self._last_journal_epoch: Optional[int] = None
+        #: Highest epoch seen per journal (keyed by the ``shard`` field of
+        #: ``journal.commit``; the single-journal manager emits no shard
+        #: field and lands under ``""``).  Epochs are monotonic *per
+        #: journal* — shards mint epochs independently.
+        self._last_journal_epoch: dict[str, int] = {}
         self._bus: Optional["TraceBus"] = None
 
     # -- lifecycle ----------------------------------------------------------
@@ -117,12 +121,15 @@ class InvariantAuditor:
         epoch = ev.data.get("epoch")
         if epoch is None:
             return
-        if self._last_journal_epoch is not None and epoch <= self._last_journal_epoch:
+        journal = ev.data.get("shard", "")
+        previous = self._last_journal_epoch.get(journal)
+        if previous is not None and epoch <= previous:
             self._flag(
                 ev.t, "journal-monotonic",
-                epoch=epoch, previous=self._last_journal_epoch,
+                epoch=epoch, previous=previous,
+                **({"shard": journal} if journal else {}),
             )
-        self._last_journal_epoch = epoch
+        self._last_journal_epoch[journal] = epoch
 
     def _check_k3_conservation(self, ev: "TraceEvent") -> None:
         d = ev.data
@@ -153,11 +160,21 @@ class InvariantAuditor:
         return self.violations[found_from:]
 
     def _audit_tables(self, t: float) -> None:
-        """VIPs on ≤1 switch; each RIP in ≤1 (switch, VIP) entry."""
+        """VIPs on ≤1 switch; each RIP in ≤1 (switch, VIP) entry.
+
+        A sharded control plane may deliberately duplicate a VIP during
+        an optimistic adoption (the old owner was unreachable); those
+        VIPs — reported by ``vips_in_conflict()`` — are a legitimate
+        transient the anti-entropy rounds resolve, so they (and the RIPs
+        under them) are excluded until then."""
+        conflict_fn = getattr(getattr(self.dc, "viprip", None), "vips_in_conflict", None)
+        in_conflict: set[str] = conflict_fn() if conflict_fn is not None else set()
         vip_homes: dict[str, list[str]] = {}
         rip_homes: dict[str, list[tuple[str, str]]] = {}
         for switch in self.dc.switches.values():
             for vip in switch.vips():
+                if vip in in_conflict:
+                    continue
                 vip_homes.setdefault(vip, []).append(switch.name)
                 for rip in switch.entry(vip).rips:
                     rip_homes.setdefault(rip, []).append((switch.name, vip))

@@ -65,6 +65,7 @@ CPU_SENSITIVE_METRICS = ("parallel_wall_s",)
 BENCH_FILES = {
     "placement": "BENCH_placement.json",
     "network": "BENCH_network.json",
+    "controlplane": "BENCH_controlplane.json",
 }
 
 
@@ -422,6 +423,46 @@ def bench_obs(
     }
 
 
+def bench_sharded_controlplane(
+    shards: tuple[int, ...], n_requests: int, n_switches: int, seed: int = 0
+) -> tuple[str, dict]:
+    """Sharded control-plane storm: simulated throughput vs shard count.
+
+    The guarded wall time is the host-side cost of draining the storm
+    through all shard counts; the scaling claim itself is gated through
+    ``monotonic_ok``, which is simulated-time and therefore deterministic
+    across machines.
+    """
+    from repro.experiments.e16_sharded_control_plane import run as run_e16
+
+    t0 = time.perf_counter()
+    result = run_e16(
+        seed=seed,
+        shards=shards,
+        n_requests=n_requests,
+        n_switches=n_switches,
+        integrated=False,
+    )
+    wall = time.perf_counter() - t0
+    cases = sorted(result.throughput, key=lambda c: c.n_shards)
+    metrics = {
+        "shards": list(shards),
+        "requests": n_requests,
+        "wall_s": round(wall, 4),
+        "monotonic_ok": result.throughput_monotonic,
+        "chaos_converged": all(c.converged for c in result.chaos),
+        "conflicts": sum(c.conflicts for c in result.chaos),
+        "rollbacks": sum(c.rollbacks for c in result.chaos),
+    }
+    for case in cases:
+        metrics[f"rps_shards_{case.n_shards}"] = round(case.throughput_rps, 3)
+        metrics[f"speedup_shards_{case.n_shards}"] = round(
+            case.speedup_vs_serial, 3
+        )
+    wid = f"sharded_controlplane[shards={','.join(map(str, shards))},requests={n_requests}]"
+    return wid, metrics
+
+
 # ------------------------------------------------------------------ suites
 
 #: (workload fn, kwargs) per suite; quick fixtures run in both modes so the
@@ -443,6 +484,18 @@ QUICK_NETWORK = [
 FULL_NETWORK = QUICK_NETWORK + [
     (bench_maxmin, dict(n_flows=4000, n_links=300, resolves=20)),
 ]
+QUICK_CONTROLPLANE = [
+    (
+        bench_sharded_controlplane,
+        dict(shards=(1, 2, 4), n_requests=160, n_switches=8),
+    ),
+]
+FULL_CONTROLPLANE = QUICK_CONTROLPLANE + [
+    (
+        bench_sharded_controlplane,
+        dict(shards=(1, 2, 4, 8), n_requests=320, n_switches=16),
+    ),
+]
 
 
 def run_suite(
@@ -453,6 +506,8 @@ def run_suite(
 ) -> dict:
     if suite == "placement":
         fixtures = QUICK_PLACEMENT if quick else FULL_PLACEMENT
+    elif suite == "controlplane":
+        fixtures = QUICK_CONTROLPLANE if quick else FULL_CONTROLPLANE
     else:
         fixtures = QUICK_NETWORK if quick else FULL_NETWORK
     workloads = {}
@@ -621,6 +676,8 @@ def cmd_bench(
                     "satisfied_delta",
                     "overhead_pct",
                     "overhead_ok",
+                    "monotonic_ok",
+                    "chaos_converged",
                 )
             }
             print(f"  {wid}: {shown}", file=out)
@@ -630,6 +687,14 @@ def cmd_bench(
                 failures.append(
                     f"{wid}: observability overhead "
                     f"{metrics.get('overhead_pct')}% exceeds 5%"
+                )
+            if metrics.get("monotonic_ok") is False:
+                failures.append(
+                    f"{wid}: sharded throughput not monotonic in shard count"
+                )
+            if metrics.get("chaos_converged") is False:
+                failures.append(
+                    f"{wid}: a chaos case failed to converge to clean drift"
                 )
         if min_speedup is not None:
             gate_failures, gate_skipped = speedup_gate(result, min_speedup)

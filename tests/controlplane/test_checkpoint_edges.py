@@ -1,0 +1,148 @@
+"""Checkpoint/recovery edge cases the happy-path suites skip.
+
+Three corners of the crash-safety contract:
+
+* checkpointing an *empty* journal (before any operation settled) must
+  produce a restorable epoch-0 snapshot, not a crash;
+* a crash falling *between* the checkpoint write and the journal
+  truncation leaves settled records at or below the checkpoint epoch in
+  the journal — the epoch fence must skip them on replay instead of
+  double-applying;
+* a journal record whose epoch *equals* the fence is already covered by
+  the checkpoint: replay must treat the fence as inclusive and skip it.
+"""
+
+from repro.controlplane import CheckpointStore, WriteAheadJournal
+from repro.core.viprip import VipRipManager, VipRipRequest
+from repro.lbswitch.addresses import PUBLIC_VIP_POOL
+from repro.lbswitch.switch import LBSwitch, SwitchLimits
+from repro.sim import Environment
+
+
+def build(n_switches=3, reconfig_s=1.0):
+    env = Environment()
+    switches = [
+        LBSwitch(f"lb-{i}", env, SwitchLimits(max_vips=10, max_rips=40))
+        for i in range(n_switches)
+    ]
+    mgr = VipRipManager(
+        env,
+        switches,
+        PUBLIC_VIP_POOL(1000),
+        reconfig_s=reconfig_s,
+        journal=WriteAheadJournal(),
+        checkpoints=CheckpointStore(),
+    )
+    return env, switches, mgr
+
+
+def drive(env, gen):
+    out = []
+
+    def driver():
+        res = yield from gen
+        out.append(res)
+
+    env.process(driver())
+    env.run()
+    return out[0]
+
+
+def tables_of(switches):
+    return {
+        sw.name: {vip: dict(sw.entry(vip).rips) for vip in sw.vips()}
+        for sw in switches
+    }
+
+
+# -- empty-journal checkpoint ----------------------------------------------
+def test_checkpoint_of_empty_journal_restores_empty_state():
+    env, switches, mgr = build()
+    cp = mgr.take_checkpoint()
+    assert cp is not None and cp.epoch == 0
+    assert mgr.checkpoints.taken == 1
+    assert mgr.journal.last_epoch == 0  # nothing truncated, nothing minted
+    mgr.crash()
+    assert drive(env, mgr.recover()) == 0
+    assert mgr.registry == {} and mgr.rip_index == {}
+    # the recovered manager is fully functional
+    d = mgr.submit(VipRipRequest("new_vip", "app"))
+    env.run(until=d)
+    assert d.value is not None and mgr.processed == 1
+
+
+def test_checkpoint_before_first_settle_does_not_advance_the_fence():
+    env, _, mgr = build(reconfig_s=4.0)
+    mgr.submit(VipRipRequest("new_vip", "app"))
+    env.run(until=1.0)  # INTENT journaled, nothing applied yet
+    cp = mgr.take_checkpoint()
+    assert cp.epoch == 0  # the in-flight record is not covered
+    assert len(mgr.journal) == 1  # and must not be truncated away
+    env.run()
+    assert mgr.registry["app"]
+
+
+# -- crash between checkpoint write and truncation -------------------------
+def test_crash_between_checkpoint_write_and_truncation_is_safe():
+    env, switches, mgr = build()
+    done = [mgr.submit(VipRipRequest("new_vip", f"app-{i}")) for i in range(3)]
+    env.run(until=done[-1])
+    registry_before = {a: dict(v) for a, v in mgr.registry.items()}
+    tables_before = tables_of(switches)
+    # The checkpoint hits durable storage...
+    mgr.checkpoints.capture(
+        mgr.applied_epoch, env.now, mgr.registry, mgr.rip_index
+    )
+    # ...but the manager dies before truncating the covered prefix.
+    assert len(mgr.journal) == 3
+    mgr.crash()
+    replayed = drive(env, mgr.recover())
+    # every surviving record is at or below the checkpoint epoch: the
+    # fence skips all of them instead of re-applying onto the restore
+    assert replayed == 0
+    assert mgr.registry == registry_before
+    assert tables_of(switches) == tables_before
+    # the next checkpoint finally collects the stale prefix
+    mgr.take_checkpoint()
+    assert len(mgr.journal) == 0
+    assert mgr.checkpoints.truncated == 3
+
+
+def test_partial_truncation_overlap_replays_only_the_tail():
+    env, switches, mgr = build()
+    done = [mgr.submit(VipRipRequest("new_vip", f"app-{i}")) for i in range(4)]
+    env.run(until=done[1])
+    fence = mgr.applied_epoch
+    mgr.checkpoints.capture(fence, env.now, mgr.registry, mgr.rip_index)
+    env.run(until=done[-1])  # two more ops settle after the checkpoint
+    expected = {a: dict(v) for a, v in mgr.registry.items()}
+    mgr.crash()
+    replayed = drive(env, mgr.recover())
+    # untruncated covered records skipped; only the genuine tail replays
+    assert replayed == len([r for r in mgr.journal if r.epoch > fence])
+    assert mgr.registry == expected
+
+
+# -- replay at epoch == fence ----------------------------------------------
+def test_record_at_exactly_the_fence_epoch_is_skipped():
+    env, switches, mgr = build()
+    done = [mgr.submit(VipRipRequest("new_vip", f"app-{i}")) for i in range(2)]
+    env.run(until=done[-1])
+    boundary = max(r.epoch for r in mgr.journal)
+    state = {a: dict(v) for a, v in mgr.registry.items()}
+    tables = tables_of(switches)
+    # Fence exactly at the last record's epoch: tail() must be empty and
+    # a replay a strict no-op.
+    mgr.applied_epoch = boundary
+    assert mgr.journal.tail(boundary) == []
+    assert drive(env, mgr.replay()) == 0
+    assert mgr.replayed == 0
+    assert mgr.registry == state and tables_of(switches) == tables
+    # One below the boundary replays exactly the boundary record — the
+    # fence is inclusive, not off-by-one in either direction.
+    mgr.applied_epoch = boundary - 1
+    replayed_records = [r.epoch for r in mgr.journal.tail(boundary - 1)]
+    assert replayed_records and min(replayed_records) == boundary
+    drive(env, mgr.replay())
+    assert mgr.applied_epoch == boundary
+    assert mgr.registry == state and tables_of(switches) == tables

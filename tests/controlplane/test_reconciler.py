@@ -136,6 +136,50 @@ def test_detector_only_mode_repairs_nothing(dc):
     assert "rip-ghost" in sw.entry(vip).rips
 
 
+def test_unrepaired_drift_reports_stuck_vips(dc):
+    from repro.faults import RecoveryMonitor
+
+    monitor = RecoveryMonitor()
+    dc.reconciler.monitor = monitor
+    dc.reconciler.repair = False  # nothing ever lands: drift persists
+    vip, info, sw = some_vip(dc)
+    sw.remove_vip(vip)
+    threshold = dc.reconciler.stuck_after_rounds
+    for _ in range(threshold):
+        report = dc.reconciler.run_pass()
+        assert report.vip_missing == 1
+        assert report.stuck_vips == []  # streak still within threshold
+    # pass K+1: the streak crosses the threshold
+    report = dc.reconciler.run_pass()
+    assert report.stuck_vips == [vip]
+    assert dc.reconciler.stuck_vips == [vip]
+    assert any("stuck" in note for note in report.notes)
+    assert monitor.stuck_vips == {vip}
+    assert monitor.stuck_vip_reports == 1
+    assert "stuck VIPs" in monitor.table().render()
+    # a successful repair resets the streak and clears the report
+    dc.reconciler.repair = True
+    report = dc.reconciler.run_pass()
+    assert report.stuck_vips == [] and dc.reconciler.stuck_vips == []
+    assert dc.reconciler.run_pass().clean
+
+
+def test_skipped_passes_do_not_advance_stuck_streaks(dc):
+    dc.reconciler.repair = False
+    vip, info, sw = some_vip(dc)
+    sw.remove_vip(vip)
+    threshold = dc.reconciler.stuck_after_rounds
+    for _ in range(threshold):
+        dc.reconciler.run_pass()
+    # a manager crash makes every pass a skip; the streak must freeze
+    dc.viprip.crash()
+    for _ in range(5):
+        report = dc.reconciler.run_pass()
+        assert "recovery owns the state" in report.notes[0]
+        assert report.stuck_vips == []
+    assert dc.reconciler._unresolved_streak[vip] == threshold
+
+
 def test_convergence_interval_recorded(dc):
     vip, info, sw = some_vip(dc)
     rip = sorted(sw.entry(vip).rips)[0]
