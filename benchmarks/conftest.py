@@ -12,16 +12,25 @@ import json
 import pathlib
 
 from repro.analysis.reporting import table_to_dict
+from repro.perf.rss import peak_rss_mb
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 def emit(tables, name: str) -> None:
-    """Print and persist one experiment's tables (.txt and .json)."""
+    """Print and persist one experiment's tables (.txt and .json).
+
+    The JSON payload records the process peak RSS at emit time so memory
+    trends ride along with the wall-time trend anchors.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     text = "\n\n".join(t.render() for t in tables)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
-    payload = {"name": name, "tables": [table_to_dict(t) for t in tables]}
+    payload = {
+        "name": name,
+        "peak_rss_mb": round(peak_rss_mb(), 1),
+        "tables": [table_to_dict(t) for t in tables],
+    }
     (RESULTS_DIR / f"{name}.json").write_text(json.dumps(payload, indent=2) + "\n")
     print()
     print(text)

@@ -10,6 +10,7 @@ Usage::
     python -m repro faults --seed 42        # scripted failure-recovery scenario
     python -m repro controlplane --seed 42  # manager crash + journal replay
     python -m repro bench --quick           # pinned perf workloads -> BENCH_*.json
+    python -m repro mega --quick            # bounded-memory paper-scale lane
     python -m repro trace summary run.jsonl # per-kind counts + digest
     python -m repro trace diff a.jsonl b.jsonl  # first divergence, exit 1 if differ
 """
@@ -43,6 +44,12 @@ EXPERIMENTS: dict[str, tuple[str, str, dict, str]] = {
         "run",
         {},
         "sharded control plane: throughput / conflicts / convergence",
+    ),
+    "e17": (
+        "e17_mega_scale",
+        "run",
+        {},
+        "mega scale: paper Section I size through the bounded-memory driver",
     ),
     "a1": ("ablations", "run_pod_size", {}, "ablation: pod size"),
     "a2": ("ablations", "run_drain_ablation", {}, "ablation: K2 drain-first"),
@@ -325,6 +332,46 @@ def main(argv: list[str] | None = None) -> int:
         "(skipped with a warning when the runner has fewer cores than "
         "the workload's workers)",
     )
+    mega_p = sub.add_parser(
+        "mega",
+        help="run the paper-scale bounded-memory epoch driver; writes "
+        "BENCH_mega.json and gates peak RSS",
+    )
+    mega_p.add_argument(
+        "--quick",
+        action="store_true",
+        help="1/10 scale (the CI mega-smoke lane); default is the paper's "
+        "300k servers / 300k apps / ~6M VMs",
+    )
+    mega_p.add_argument(
+        "--epochs", type=int, default=2, help="placement epochs to run"
+    )
+    mega_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel engine width (worker-resident pods)",
+    )
+    mega_p.add_argument(
+        "--out", default=".", metavar="DIR", help="where to write BENCH_mega.json"
+    )
+    mega_p.add_argument(
+        "--baseline",
+        metavar="DIR",
+        help="directory holding a baseline BENCH_mega.json to gate against",
+    )
+    mega_p.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="fail if a guarded metric exceeds baseline x this ratio",
+    )
+    mega_p.add_argument(
+        "--max-rss-mb",
+        type=float,
+        default=8192.0,
+        help="fail if peak RSS exceeds this many MB (acceptance budget)",
+    )
     trace_p = sub.add_parser(
         "trace", help="summarize or diff JSONL trace files"
     )
@@ -366,6 +413,18 @@ def main(argv: list[str] | None = None) -> int:
             baseline=args.baseline,
             max_regression=args.max_regression,
             min_speedup=args.min_speedup,
+        )
+    if args.command == "mega":
+        from repro.perf.bench import cmd_mega
+
+        return cmd_mega(
+            quick=args.quick,
+            out_dir=args.out,
+            workers=args.workers,
+            epochs=args.epochs,
+            baseline=args.baseline,
+            max_regression=args.max_regression,
+            max_rss_mb=args.max_rss_mb,
         )
     if args.command == "trace":
         if args.trace_command == "summary":

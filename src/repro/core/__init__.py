@@ -27,6 +27,8 @@ from repro.core.global_manager import GlobalManager
 from repro.core.datacenter import MegaDataCenter
 from repro.core.two_layer import TwoLayerFabric
 from repro.core.energy import EnergyAccountant, PowerModel
+from repro.core.columnar import ColumnarPodState, ColumnarServers
+from repro.core.mega import MegaConfig, MegaEpochReport, MegaScaleDriver
 
 __all__ = [
     "PlatformConfig",
@@ -45,4 +47,9 @@ __all__ = [
     "TwoLayerFabric",
     "PowerModel",
     "EnergyAccountant",
+    "ColumnarPodState",
+    "ColumnarServers",
+    "MegaConfig",
+    "MegaEpochReport",
+    "MegaScaleDriver",
 ]

@@ -1,0 +1,254 @@
+"""Columnar (structure-of-arrays) pod state for mega scale.
+
+The object model — one :class:`~repro.hosts.vm.VM` dataclass per instance,
+one :class:`~repro.hosts.server.PhysicalServer` per machine — is the right
+API for small-scale tests and the knob/fault machinery, but a pod at the
+paper's scale (Section I: ~300k servers, ~6M VMs datacenter-wide) cannot
+afford a Python object per VM on the epoch hot path.  This module keeps
+the same state as flat NumPy arrays with stable integer ids:
+
+* servers: parallel ``cpu`` / ``mem_gb`` capacity arrays (row index = id);
+* apps: a sorted array of *global* app ids the pod covers, plus aligned
+  per-instance memory;
+* VMs: exactly the entries of a CSR :class:`SparsePlacement` — one
+  (server, app) pair per instance — with a per-entry CPU-slice array.
+
+:meth:`ColumnarPodState.from_pod` builds a columnar twin of an object pod
+(the thin-view bridge: tests assert its matrices are bit-identical to what
+``PodManager._build_problem`` derives from the objects), and
+:meth:`ColumnarPodState.apply` is the columnar analogue of
+``PodManager._apply`` — pure array set-difference instead of per-VM
+attach/detach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+import numpy as np
+
+from repro.placement.problem import PlacementProblem
+from repro.placement.sparse import SparsePlacement, SparseSolution
+
+
+class IdIndex:
+    """Append-only stable string <-> integer id mapping.
+
+    Ids are assigned in insertion order and never reused, so arrays
+    indexed by id stay valid as names are added.
+    """
+
+    __slots__ = ("_ids", "_names")
+
+    def __init__(self, names: Iterable[str] = ()):
+        self._ids: dict[str, int] = {}
+        self._names: list[str] = []
+        for n in names:
+            self.add(n)
+
+    def add(self, name: str) -> int:
+        """Return the id for *name*, assigning the next one if new."""
+        gid = self._ids.get(name)
+        if gid is None:
+            gid = len(self._names)
+            self._ids[name] = gid
+            self._names.append(name)
+        return gid
+
+    def get(self, name: str) -> int:
+        return self._ids[name]
+
+    def name(self, gid: int) -> str:
+        return self._names[gid]
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ids
+
+
+@dataclass
+class ColumnarServers:
+    """Per-server capacity columns; the row index is the server id."""
+
+    cpu: np.ndarray
+    mem_gb: np.ndarray
+    name_prefix: str = "s"
+
+    def __post_init__(self):
+        self.cpu = np.ascontiguousarray(self.cpu, dtype=float)
+        self.mem_gb = np.ascontiguousarray(self.mem_gb, dtype=float)
+        if self.cpu.shape != self.mem_gb.shape:
+            raise ValueError("cpu / mem_gb must be aligned")
+        if (self.cpu <= 0).any() or (self.mem_gb <= 0).any():
+            raise ValueError("server capacities must be positive")
+
+    @classmethod
+    def uniform(
+        cls, n: int, cpu: float, mem_gb: float, name_prefix: str = "s"
+    ) -> "ColumnarServers":
+        return cls(
+            cpu=np.full(n, float(cpu)),
+            mem_gb=np.full(n, float(mem_gb)),
+            name_prefix=name_prefix,
+        )
+
+    @property
+    def n(self) -> int:
+        return int(self.cpu.shape[0])
+
+    def name(self, i: int) -> str:
+        """Materialize a server name on demand (never stored per row)."""
+        return f"{self.name_prefix}{i:06d}"
+
+
+@dataclass
+class ColumnarPodState:
+    """One pod's placement state as sharded arrays.
+
+    ``app_gids`` is sorted ascending; placement columns are *local* app
+    indices (positions in ``app_gids``), so two pods covering different
+    app subsets keep small dense-free column spaces while global ids stay
+    stable datacenter-wide.
+    """
+
+    pod: str
+    servers: ColumnarServers
+    app_gids: np.ndarray
+    app_mem_gb: np.ndarray
+    placement: SparsePlacement
+    load: np.ndarray
+    epochs_applied: int = 0
+
+    def __post_init__(self):
+        self.app_gids = np.ascontiguousarray(self.app_gids, dtype=np.int64)
+        self.app_mem_gb = np.ascontiguousarray(self.app_mem_gb, dtype=float)
+        self.load = np.ascontiguousarray(self.load, dtype=float)
+        if self.app_gids.size > 1 and (np.diff(self.app_gids) <= 0).any():
+            raise ValueError("app_gids must be strictly increasing")
+        if self.app_mem_gb.shape != self.app_gids.shape:
+            raise ValueError("app_mem_gb must align with app_gids")
+        expect = (self.servers.n, int(self.app_gids.shape[0]))
+        if self.placement.shape != expect:
+            raise ValueError(f"placement must be {expect}")
+        if self.load.shape != (self.placement.nnz,):
+            raise ValueError("load must hold one value per placement entry")
+
+    # -- aggregates ---------------------------------------------------
+    @property
+    def n_servers(self) -> int:
+        return self.servers.n
+
+    @property
+    def n_apps(self) -> int:
+        return int(self.app_gids.shape[0])
+
+    @property
+    def n_vms(self) -> int:
+        return self.placement.nnz
+
+    @property
+    def utilization(self) -> float:
+        cap = float(self.servers.cpu.sum())
+        return float(self.load.sum()) / cap if cap > 0 else 0.0
+
+    def local_index(self, gids: np.ndarray) -> np.ndarray:
+        """Map global app ids to local column indices (must be covered)."""
+        gids = np.asarray(gids, dtype=np.int64)
+        pos = np.searchsorted(self.app_gids, gids)
+        clipped = np.minimum(pos, self.n_apps - 1) if self.n_apps else pos
+        ok = (pos < self.n_apps) & (self.app_gids[clipped] == gids)
+        if not np.all(ok):
+            raise KeyError("app id not covered by this pod")
+        return pos
+
+    def mem_headroom(self) -> np.ndarray:
+        """Per-server free memory under the current placement."""
+        used = np.bincount(
+            self.placement.rows(),
+            weights=self.app_mem_gb[self.placement.indices],
+            minlength=self.n_servers,
+        )
+        return self.servers.mem_gb - used
+
+    # -- epoch hot path -----------------------------------------------
+    def build_problem(self, local_demand: np.ndarray) -> PlacementProblem:
+        """The pod's placement problem for one epoch's local demand."""
+        return PlacementProblem(
+            server_cpu=self.servers.cpu,
+            server_mem=self.servers.mem_gb,
+            app_cpu_demand=local_demand,
+            app_mem=self.app_mem_gb,
+            current=self.placement,
+        )
+
+    def apply(self, solution: SparseSolution) -> dict:
+        """Adopt a solved placement; returns start/stop/size stats.
+
+        The columnar analogue of ``PodManager._apply``: instead of
+        attaching/detaching VM objects one by one, the old and new entry
+        key sets are diffed wholesale.
+        """
+        old_keys = self.placement.keys()
+        new_keys = solution.placement.keys()
+        common = np.intersect1d(old_keys, new_keys, assume_unique=True).size
+        started = int(new_keys.size - common)
+        stopped = int(old_keys.size - common)
+        self.placement = solution.placement
+        self.load = np.ascontiguousarray(solution.load, dtype=float)
+        self.epochs_applied += 1
+        return {
+            "started": started,
+            "stopped": stopped,
+            "changes": started + stopped,
+            "vms": self.n_vms,
+            "satisfied_cpu": float(self.load.sum()),
+        }
+
+    # -- object-API bridge --------------------------------------------
+    @classmethod
+    def from_pod(cls, pod, specs: Mapping, apps: Optional[list] = None) -> "ColumnarPodState":
+        """Columnar twin of an object :class:`~repro.core.pod.Pod`.
+
+        ``apps`` fixes the column universe (defaults to the pod's covered
+        apps, sorted — the same ordering ``PodManager.prepare_epoch``
+        uses); local ids double as global ids for the twin.
+        """
+        from repro.hosts.vm import VMState
+
+        servers = pod.servers  # sorted by name, like _build_problem
+        if apps is None:
+            apps = sorted(pod.apps_covered())
+        app_index = {a: j for j, a in enumerate(apps)}
+        columns = ColumnarServers(
+            cpu=np.asarray([s.spec.cpu_capacity for s in servers]),
+            mem_gb=np.asarray([s.spec.mem_gb for s in servers]),
+            name_prefix=f"{pod.name}-s",
+        )
+        rows, cols, slices = [], [], []
+        for i, server in enumerate(servers):
+            for vm in server.vms:
+                if vm.state != VMState.STOPPED:
+                    rows.append(i)
+                    cols.append(app_index[vm.app])
+                    slices.append(vm.cpu_slice)
+        placement, order = SparsePlacement.from_entries(
+            (len(servers), len(apps)),
+            np.asarray(rows, dtype=np.int64),
+            np.asarray(cols, dtype=np.int64),
+        )
+        load = np.asarray(slices, dtype=float)[order] if slices else np.zeros(0)
+        return cls(
+            pod=pod.name,
+            servers=columns,
+            app_gids=np.arange(len(apps), dtype=np.int64),
+            app_mem_gb=np.asarray([specs[a].vm_mem_gb for a in apps]),
+            placement=placement,
+            load=load,
+        )
+
+    def to_dense_current(self) -> np.ndarray:
+        """Dense boolean current matrix (small-scale reference view)."""
+        return self.placement.to_dense()

@@ -109,6 +109,13 @@ class PodManager:
         # epoch as a demand-only delta.
         self._server_cache: tuple = ()
         self._app_cache: tuple = ()
+        # Current-placement matrix cache: (server_key, apps, per-server
+        # placement_rev, matrix).  The rev tuple makes staleness checks
+        # O(S) attribute reads instead of an O(S x VMs) object rescan;
+        # apply_epoch refreshes it with the realized placement, so across
+        # epochs the scan never reruns unless something outside the epoch
+        # loop (faults, K3/K4) attached or detached a VM.
+        self._current_cache: tuple = ()
 
     # -- epoch ------------------------------------------------------------
     def run_epoch(
@@ -218,12 +225,19 @@ class PodManager:
                 app_key,
                 np.asarray([specs[a].vm_mem_gb for a in apps]),
             )
-        current = np.zeros((s_count, a_count), dtype=bool)
-        app_index = {a: j for j, a in enumerate(apps)}
-        for i, server in enumerate(servers):
-            for vm in server.vms:
-                if vm.state != VMState.STOPPED:
-                    current[i, app_index[vm.app]] = True
+        apps_key = tuple(apps)
+        rev_key = tuple(s.placement_rev for s in servers)
+        cache = self._current_cache
+        if cache and cache[0] == server_key and cache[1] == apps_key and cache[2] == rev_key:
+            current = cache[3]
+        else:
+            current = np.zeros((s_count, a_count), dtype=bool)
+            app_index = {a: j for j, a in enumerate(apps)}
+            for i, server in enumerate(servers):
+                for vm in server.vms:
+                    if vm.state != VMState.STOPPED:
+                        current[i, app_index[vm.app]] = True
+            self._current_cache = (server_key, apps_key, rev_key, current)
         return PlacementProblem(
             server_cpu=self._server_cache[1],
             server_mem=self._server_cache[2],
@@ -242,15 +256,31 @@ class PodManager:
         solution,
         specs: Mapping[str, AppSpec],
     ) -> int:
-        """Realize the solution on the pod's servers; returns change count."""
+        """Realize the solution on the pod's servers; returns change count.
+
+        The start/stop sets come from one vectorised diff of the solved
+        placement against the plan's current matrix (the prepare/apply
+        invariant guarantees the matrix still reflects the servers), so
+        the per-server Python work is proportional to the *changes*, not
+        to S x A.  Per server the realization order is unchanged: stops
+        in ascending app order, then starts in ascending app order, then
+        K5 resizes shrink-first.
+        """
         changes = 0
         app_index = {a: j for j, a in enumerate(apps)}
+        placement = np.asarray(solution.placement, dtype=bool)
+        current = np.asarray(problem.current, dtype=bool)
+        stops = current & ~placement
+        starts = placement & ~current
+        changed_rows = set(
+            np.flatnonzero(stops.any(axis=1) | starts.any(axis=1)).tolist()
+        )
         for i, server in enumerate(servers):
-            placed_now = {vm.app for vm in server.vms if vm.state != VMState.STOPPED}
-            # Stops first: a start on this server may need the memory a
-            # stopped instance frees.
-            for j, app in enumerate(apps):
-                if placed_now.__contains__(app) and not solution.placement[i, j]:
+            if i in changed_rows:
+                # Stops first: a start on this server may need the memory
+                # a stopped instance frees.
+                for j in np.flatnonzero(stops[i]):
+                    app = apps[int(j)]
                     vm = server.vms_of(app)[0]
                     server.detach(vm.vm_id)
                     vm.state = VMState.STOPPED
@@ -259,8 +289,8 @@ class PodManager:
                     changes += 1
                     if self.on_stop:
                         self.on_stop(vm)
-            for j, app in enumerate(apps):
-                if solution.placement[i, j] and app not in placed_now:
+                for j in np.flatnonzero(starts[i]):
+                    app = apps[int(j)]
                     vm = VM(
                         vm_id=f"{app}@{server.name}",
                         app=app,
@@ -283,6 +313,14 @@ class PodManager:
             resizes.sort(key=lambda pair: pair[1] - pair[0].cpu_slice)
             for vm, new_slice in resizes:
                 server.resize(vm.vm_id, new_slice)
+        # The realized placement is exactly the solution's matrix; refresh
+        # the prepare-stage cache so the next quiet epoch skips the scan.
+        self._current_cache = (
+            tuple((s.name, s.spec.cpu_capacity, s.spec.mem_gb) for s in servers),
+            tuple(apps),
+            tuple(s.placement_rev for s in servers),
+            placement.copy(),
+        )
         return changes
 
     # -- fault handling ---------------------------------------------------

@@ -42,6 +42,10 @@ class PlatformState:
         self.switches = switches
         self.vips: dict[str, VipInfo] = {}
         self.rips: dict[str, RipInfo] = {}
+        #: Secondary index app -> its registered RIP names, maintained by
+        #: register_rip/unregister_rip so per-app queries (pods_covering,
+        #: the hottest PlatformState path at scale) never scan all RIPs.
+        self.app_rips: dict[str, set[str]] = {}
         self.app_vips: dict[str, list[str]] = {}
         self.servers: dict[str, PhysicalServer] = {}
         #: Per-epoch measured VIP traffic, written by the data-plane pass.
@@ -73,10 +77,17 @@ class PlatformState:
             raise ValueError(f"RIP {rip} already registered")
         info = RipInfo(rip, app, vip, vm)
         self.rips[rip] = info
+        self.app_rips.setdefault(app, set()).add(rip)
         return info
 
     def unregister_rip(self, rip: str) -> RipInfo:
-        return self.rips.pop(rip)
+        info = self.rips.pop(rip)
+        members = self.app_rips.get(info.app)
+        if members is not None:
+            members.discard(rip)
+            if not members:
+                del self.app_rips[info.app]
+        return info
 
     # -- checkpointing ---------------------------------------------------------
     def snapshot(self) -> dict:
@@ -134,13 +145,16 @@ class PlatformState:
         return server.pod if server is not None else None
 
     def pods_covering(self, app: str) -> set[str]:
-        """Pods with at least one serving instance of *app*."""
+        """Pods with at least one serving instance of *app*.
+
+        Walks only the app's own RIPs via the :attr:`app_rips` index; the
+        pod itself stays derived live from the server (K3 correctness).
+        """
         pods = set()
-        for info in self.rips.values():
-            if info.app == app:
-                pod = self.pod_of_rip(info.rip)
-                if pod is not None:
-                    pods.add(pod)
+        for rip in self.app_rips.get(app, ()):
+            pod = self.pod_of_rip(rip)
+            if pod is not None:
+                pods.add(pod)
         return pods
 
     def rips_of_vip(self, vip: str) -> list[str]:

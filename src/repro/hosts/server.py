@@ -31,6 +31,11 @@ class PhysicalServer:
         self.spec = spec
         self.pod = pod
         self._vms: dict[str, VM] = {}
+        #: Monotonic counter bumped on every attach/detach.  Lets callers
+        #: that cache derived views of the VM set (e.g. the pod manager's
+        #: current-placement matrix) detect staleness in O(1) per server
+        #: instead of rescanning every VM.
+        self.placement_rev = 0
 
     # -- capacity ---------------------------------------------------------
     @property
@@ -77,12 +82,14 @@ class PhysicalServer:
             )
         vm.host = self.name
         self._vms[vm.vm_id] = vm
+        self.placement_rev += 1
 
     def detach(self, vm_id: str) -> VM:
         if vm_id not in self._vms:
             raise KeyError(f"{vm_id} not on {self.name}")
         vm = self._vms.pop(vm_id)
         vm.host = None
+        self.placement_rev += 1
         return vm
 
     def vm(self, vm_id: str) -> VM:

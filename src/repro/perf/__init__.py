@@ -20,10 +20,12 @@ from repro.perf.engine import (
     derive_seed,
     solve_placement_task,
 )
+from repro.perf.rss import peak_rss_mb
 
 __all__ = [
     "PlacementEngine",
     "PlacementTask",
     "derive_seed",
     "solve_placement_task",
+    "peak_rss_mb",
 ]

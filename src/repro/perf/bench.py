@@ -34,6 +34,7 @@ import numpy as np
 from repro.network.flows import Flow, FlowSet
 from repro.network.maxmin import weighted_maxmin_fair
 from repro.perf.engine import PlacementEngine, PlacementTask
+from repro.perf.rss import peak_rss_mb
 from repro.placement import (
     DistributedController,
     GreedyController,
@@ -42,7 +43,8 @@ from repro.placement import (
 )
 
 SCHEMA = 2
-#: Wall-time metrics guarded by the regression gate.
+#: Metrics guarded by the regression gate (wall times, plus the mega
+#: suite's per-epoch wall and peak RSS).
 GUARDED_METRICS = (
     "serial_wall_s",
     "parallel_wall_s",
@@ -53,7 +55,13 @@ GUARDED_METRICS = (
     "off_wall_s",
     "noop_wall_s",
     "on_wall_s",
+    "wall_per_epoch_s",
+    "peak_rss_mb",
 )
+#: Unit suffix per guarded metric; anything not listed is wall-clock
+#: seconds.  Keeps regression messages unambiguous now that the gate
+#: covers more than wall times.
+METRIC_UNITS = {"peak_rss_mb": "MB"}
 #: Metrics whose baseline comparison is meaningless across machines with
 #: different core counts (the stale-baseline trap: a baseline recorded on
 #: a 1-core runner makes any parallel wall time look like a win or a
@@ -67,6 +75,10 @@ BENCH_FILES = {
     "network": "BENCH_network.json",
     "controlplane": "BENCH_controlplane.json",
 }
+#: The mega-scale lane writes its own file (run via ``repro mega``, not
+#: ``repro bench`` — full scale is minutes of bootstrap work, not a
+#: pinned micro-workload).
+MEGA_FILE = "BENCH_mega.json"
 
 
 def _drift(demands: np.ndarray, rng: np.random.Generator) -> np.ndarray:
@@ -524,6 +536,9 @@ def run_suite(
         # gate can tell, workload by workload, whether the baseline came
         # from a machine where parallel wall times are comparable.
         metrics["cpu_count"] = os.cpu_count()
+        # Process-lifetime high-water mark at the time this workload
+        # finished; within one suite run it is monotone across workloads.
+        metrics["peak_rss_mb"] = round(peak_rss_mb(), 1)
         workloads[wid] = metrics
     return {
         "schema": SCHEMA,
@@ -570,9 +585,11 @@ def compare_to_baseline(
                 continue
             old, new = float(base[key]), float(metrics[key])
             if old > 0 and new > old * max_ratio:
+                unit = METRIC_UNITS.get(key, "s")
                 violations.append(
-                    f"{wid} {key}: {new:.4f}s vs baseline {old:.4f}s "
-                    f"(x{new / old:.2f} > x{max_ratio:.2f})"
+                    f"{wid}: metric '{key}' regressed: {new:.4f} {unit} vs "
+                    f"baseline {old:.4f} {unit} "
+                    f"(x{new / old:.2f} > allowed x{max_ratio:.2f})"
                 )
     return violations, skipped
 
@@ -730,4 +747,150 @@ def cmd_bench(
         print(f"\nbench FAILED ({len(failures)} problem(s))", file=out)
         return 1
     print("\nbench ok", file=out)
+    return 0
+
+
+# --------------------------------------------------------------- mega lane
+
+
+def bench_mega(
+    quick: bool, epochs: int = 2, workers: int = 1, seed: int = 0
+) -> tuple[str, dict]:
+    """Run the bounded-memory mega driver and report scale + cost.
+
+    ``wall_per_epoch_s`` is the steady-state epoch wall (epochs after the
+    first, which pays the one-time full controller ship); ``peak_rss_mb``
+    is the process high-water mark — the acceptance metric the paper-scale
+    run is gated on.
+    """
+    from repro.core.mega import MegaConfig, MegaScaleDriver
+
+    cfg = (MegaConfig.quick if quick else MegaConfig.full)(
+        parallelism=workers, seed=seed
+    )
+    t0 = time.perf_counter()
+    with MegaScaleDriver(cfg) as driver:
+        bootstrap_wall = time.perf_counter() - t0
+        reports = driver.run(epochs)
+    steady = reports[1:] if len(reports) > 1 else reports
+    wid = (
+        f"mega[pods={cfg.n_pods},servers={cfg.n_servers},"
+        f"apps={cfg.n_apps},workers={workers}]"
+    )
+    metrics = {
+        "epochs": len(reports),
+        "vms": reports[-1].vms,
+        "bootstrap_wall_s": round(bootstrap_wall, 4),
+        "wall_s": round(sum(r.wall_s for r in reports), 4),
+        "first_epoch_wall_s": round(reports[0].wall_s, 4),
+        "wall_per_epoch_s": round(
+            sum(r.wall_s for r in steady) / len(steady), 4
+        ),
+        "peak_rss_mb": round(peak_rss_mb(), 1),
+        "bytes_shipped": sum(r.bytes_shipped for r in reports),
+        "delta_tasks": sum(r.delta_tasks for r in reports),
+        "full_tasks": sum(r.full_tasks for r in reports),
+        "satisfied_fraction_min": round(
+            min(r.satisfied_fraction for r in reports), 6
+        ),
+        "changes_last_epoch": reports[-1].changes,
+        "delta_shipping_engaged": (
+            len(reports) < 2 or reports[-1].full_tasks == 0
+        ),
+    }
+    return wid, metrics
+
+
+def cmd_mega(
+    quick: bool,
+    out_dir: str,
+    workers: int,
+    epochs: int,
+    baseline: Optional[str],
+    max_regression: float,
+    max_rss_mb: float,
+    out=None,
+) -> int:
+    """Run the mega-scale lane, write ``BENCH_mega.json``, gate RSS/trends."""
+    import sys
+
+    out = out if out is not None else sys.stdout
+    out_path = pathlib.Path(out_dir)
+    out_path.mkdir(parents=True, exist_ok=True)
+    mode = "quick" if quick else "full"
+    print(
+        f"repro mega ({mode}, cpu_count={os.cpu_count()}, "
+        f"workers={workers}, epochs={epochs})",
+        file=out,
+    )
+    wid, metrics = bench_mega(quick, epochs=epochs, workers=workers)
+    metrics["cpu_count"] = os.cpu_count()
+    # Merge with an existing file so one committed baseline can carry both
+    # the quick (CI smoke) and full (paper-scale) workload entries — the
+    # workload id encodes the scale, so they never collide.
+    dest = out_path / MEGA_FILE
+    workloads = {}
+    if dest.is_file():
+        try:
+            workloads = dict(json.loads(dest.read_text()).get("workloads", {}))
+        except (json.JSONDecodeError, OSError):
+            workloads = {}
+    workloads[wid] = metrics
+    result = {
+        "schema": SCHEMA,
+        "suite": "mega",
+        "quick": quick,
+        "cpu_count": os.cpu_count(),
+        "workloads": workloads,
+    }
+    dest.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\n[mega] -> {dest}", file=out)
+    print(f"  {wid}:", file=out)
+    for key in (
+        "vms",
+        "epochs",
+        "bootstrap_wall_s",
+        "first_epoch_wall_s",
+        "wall_per_epoch_s",
+        "peak_rss_mb",
+        "bytes_shipped",
+        "satisfied_fraction_min",
+        "delta_shipping_engaged",
+    ):
+        print(f"    {key} = {metrics[key]}", file=out)
+    failures = []
+    if metrics["peak_rss_mb"] > max_rss_mb:
+        failures.append(
+            f"{wid}: metric 'peak_rss_mb' exceeds budget: "
+            f"{metrics['peak_rss_mb']:.1f} MB > allowed {max_rss_mb:.1f} MB"
+        )
+    if metrics["satisfied_fraction_min"] < 0.98:
+        failures.append(
+            f"{wid}: satisfied_fraction_min "
+            f"{metrics['satisfied_fraction_min']} < 0.98"
+        )
+    if epochs >= 2 and not metrics["delta_shipping_engaged"]:
+        failures.append(
+            f"{wid}: delta shipping never engaged (full ships after epoch 0)"
+        )
+    if baseline is not None:
+        base_file = pathlib.Path(baseline) / MEGA_FILE
+        if base_file.is_file():
+            base = json.loads(base_file.read_text())
+            violations, skipped = compare_to_baseline(
+                result, base, max_regression
+            )
+            for s in skipped:
+                print(f"  WARNING {s}", file=out)
+            for v in violations:
+                print(f"  REGRESSION {v}", file=out)
+            failures.extend(violations)
+        else:
+            print(f"  (no baseline {base_file}; skipping gate)", file=out)
+    if failures:
+        print(f"\nmega FAILED ({len(failures)} problem(s))", file=out)
+        for f in failures:
+            print(f"  {f}", file=out)
+        return 1
+    print("\nmega ok", file=out)
     return 0

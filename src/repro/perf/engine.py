@@ -48,6 +48,7 @@ from typing import Iterable, Optional
 import numpy as np
 
 from repro.placement.problem import PlacementProblem, PlacementSolution
+from repro.placement.sparse import SparsePlacement, SparseSolution
 
 
 class EngineProtocolError(RuntimeError):
@@ -139,13 +140,32 @@ def _fingerprint(struct: tuple, current_bytes: bytes) -> int:
     return zlib.crc32(current_bytes, h)
 
 
-def _encode_solution(sol: PlacementSolution) -> tuple:
+def _crc(arr) -> int:
+    """CRC32 over an array's exact bytes (dense ndarray or CSR placement)."""
+    if isinstance(arr, SparsePlacement):
+        return zlib.crc32(arr.tobytes())
+    return zlib.crc32(np.ascontiguousarray(arr))
+
+
+def _encode_solution(sol) -> tuple:
     """Columnar wire encoding: packed placement bits + sparse load.
 
     The load matrix is zero almost everywhere (a few instances per app),
     so shipping (indices, values) of its nonzeros beats the dense float64
     matrix by an order of magnitude.  Decoding reconstructs the dense
-    arrays exactly — same bytes, not approximately."""
+    arrays exactly — same bytes, not approximately.  CSR solutions (mega
+    scale) are already in wire shape and ship tagged as-is."""
+    if isinstance(sol, SparseSolution):
+        p = sol.placement
+        return (
+            "csr",
+            p.shape,
+            p.indptr,
+            p.indices,
+            np.ascontiguousarray(sol.load),
+            int(sol.changes),
+            float(sol.wall_time_s),
+        )
     placement = np.ascontiguousarray(sol.placement)
     flat = np.ascontiguousarray(sol.load).reshape(-1)
     idx = np.flatnonzero(flat).astype(np.int64)
@@ -159,7 +179,15 @@ def _encode_solution(sol: PlacementSolution) -> tuple:
     )
 
 
-def _decode_solution(enc: tuple) -> PlacementSolution:
+def _decode_solution(enc: tuple):
+    if enc[0] == "csr":
+        _tag, shape, indptr, indices, load, changes, wall = enc
+        return SparseSolution(
+            placement=SparsePlacement(shape, indptr, indices, check=False),
+            load=load,
+            changes=changes,
+            wall_time_s=wall,
+        )
     shape, packed, idx, vals, changes, wall = enc
     n = int(shape[0] * shape[1])
     placement = np.unpackbits(packed, count=n).astype(bool).reshape(shape)
@@ -469,10 +497,8 @@ class PlacementEngine:
                     "pool.merge", t=tctx.get("t", 0.0), key=task.key,
                     epoch=tctx.get("epoch"),
                     shipped=disp.mode, payload_bytes=disp.nbytes,
-                    placement_crc=zlib.crc32(
-                        np.ascontiguousarray(solution.placement)
-                    ),
-                    load_crc=zlib.crc32(np.ascontiguousarray(solution.load)),
+                    placement_crc=_crc(solution.placement),
+                    load_crc=_crc(solution.load),
                 )
             solutions.append(solution)
         return solutions

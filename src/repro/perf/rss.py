@@ -1,0 +1,17 @@
+"""Process peak-RSS measurement shared by benches and the mega driver."""
+
+from __future__ import annotations
+
+import resource
+import sys
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process, in MB.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; the value is
+    a high-water mark, so within one process it only ever grows.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    divisor = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    return float(peak) / divisor

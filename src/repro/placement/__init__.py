@@ -24,6 +24,11 @@ from repro.placement.tang import TangController
 from repro.placement.greedy import GreedyController
 from repro.placement.distributed import DistributedController
 from repro.placement.quality import evaluate_solution, SolutionQuality
+from repro.placement.sparse import (
+    SparseGreedyController,
+    SparsePlacement,
+    SparseSolution,
+)
 
 __all__ = [
     "PlacementProblem",
@@ -33,4 +38,7 @@ __all__ = [
     "DistributedController",
     "evaluate_solution",
     "SolutionQuality",
+    "SparseGreedyController",
+    "SparsePlacement",
+    "SparseSolution",
 ]

@@ -16,7 +16,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.placement.greedy import waterfill_load
+from repro.placement.greedy import _BufferRing, waterfill_load
 from repro.placement.problem import (
     PlacementProblem,
     PlacementSolution,
@@ -40,11 +40,14 @@ class DistributedController:
     sample_size: int = 4
     rng: Optional[np.random.Generator] = None
     name: str = "distributed"
+    _ring: _BufferRing = field(
+        default_factory=_BufferRing, init=False, repr=False, compare=False
+    )
 
     def solve(self, problem: PlacementProblem) -> PlacementSolution:
         t0 = time.perf_counter()
         rng = self.rng if self.rng is not None else np.random.default_rng(0)
-        placement = problem.current.copy()
+        placement = self._ring.copy_of(problem.current)
 
         # Stale epoch-start snapshot every agent plans against.
         load0 = waterfill_load(problem, problem.current)

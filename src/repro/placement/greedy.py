@@ -11,7 +11,7 @@ the hierarchical architecture depends on.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -20,6 +20,38 @@ from repro.placement.problem import (
     PlacementSolution,
     count_changes,
 )
+
+
+class _BufferRing:
+    """Two-slot reusable array pool for per-epoch working copies.
+
+    Hoists the per-solve ``current.copy()`` allocation: the controller
+    writes into a preallocated buffer instead of allocating a fresh S x A
+    matrix every epoch.  Two slots alternate so the placement returned by
+    one solve stays intact through the *next* solve — matching the
+    previous/current solution lifetime of the worker-resident engine
+    (which keeps exactly one prior placement as ``problem.current``).
+    """
+
+    __slots__ = ("_slots", "_next")
+
+    def __init__(self):
+        self._slots = [None, None]
+        self._next = 0
+
+    def copy_of(self, src: np.ndarray) -> np.ndarray:
+        buf = self._slots[self._next]
+        if (
+            buf is None
+            or buf is src
+            or buf.shape != src.shape
+            or buf.dtype != src.dtype
+        ):
+            buf = np.empty(src.shape, dtype=src.dtype)
+            self._slots[self._next] = buf
+        self._next = 1 - self._next
+        np.copyto(buf, src)
+        return buf
 
 
 def waterfill_load(
@@ -74,10 +106,13 @@ class GreedyController:
     stop_idle: bool = True
     packing: bool = False
     name: str = "greedy-agile"
+    _ring: _BufferRing = field(
+        default_factory=_BufferRing, init=False, repr=False, compare=False
+    )
 
     def solve(self, problem: PlacementProblem) -> PlacementSolution:
         t0 = time.perf_counter()
-        placement = problem.current.copy()
+        placement = self._ring.copy_of(problem.current)
         load = waterfill_load(problem, placement)
         residual = problem.app_cpu_demand - load.sum(axis=0)
         free_cpu = problem.server_cpu - load.sum(axis=1)

@@ -15,6 +15,16 @@ from typing import Optional
 import numpy as np
 
 
+def _is_sparse(placement) -> bool:
+    """True when *placement* is a CSR :class:`SparsePlacement`.
+
+    Imported lazily — :mod:`repro.placement.sparse` depends on this module.
+    """
+    from repro.placement.sparse import SparsePlacement
+
+    return isinstance(placement, SparsePlacement)
+
+
 @dataclass
 class PlacementProblem:
     """One placement/allocation instance.
@@ -47,7 +57,8 @@ class PlacementProblem:
         self.server_mem = np.asarray(self.server_mem, dtype=float)
         self.app_cpu_demand = np.asarray(self.app_cpu_demand, dtype=float)
         self.app_mem = np.asarray(self.app_mem, dtype=float)
-        self.current = np.asarray(self.current, dtype=bool)
+        if not _is_sparse(self.current):
+            self.current = np.asarray(self.current, dtype=bool)
         s, a = self.n_servers, self.n_apps
         if self.server_mem.shape != (s,):
             raise ValueError("server_mem shape mismatch")
@@ -74,11 +85,17 @@ class PlacementProblem:
     def total_demand(self) -> float:
         return float(self.app_cpu_demand.sum())
 
-    def mem_used(self, placement: np.ndarray) -> np.ndarray:
-        """Per-server memory consumed by a placement matrix."""
+    def mem_used(self, placement) -> np.ndarray:
+        """Per-server memory consumed by a placement matrix (dense or CSR)."""
+        if _is_sparse(placement):
+            return np.bincount(
+                placement.rows(),
+                weights=self.app_mem[placement.indices],
+                minlength=self.n_servers,
+            )
         return placement.astype(float) @ self.app_mem
 
-    def placement_feasible(self, placement: np.ndarray) -> bool:
+    def placement_feasible(self, placement) -> bool:
         return bool((self.mem_used(placement) <= self.server_mem + 1e-9).all())
 
 

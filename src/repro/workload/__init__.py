@@ -20,6 +20,7 @@ from repro.workload.demand import (
 from repro.workload.arrivals import PoissonArrivals, MMPPArrivals, lognormal_durations
 from repro.workload.apps import AppSpec
 from repro.workload.generator import WorkloadBuilder
+from repro.workload.streaming import StreamingWorkload
 
 __all__ = [
     "zipf_weights",
@@ -37,4 +38,5 @@ __all__ = [
     "lognormal_durations",
     "AppSpec",
     "WorkloadBuilder",
+    "StreamingWorkload",
 ]

@@ -1,0 +1,157 @@
+"""Columnar pod state: the object-API bridge must be a faithful twin.
+
+``ColumnarPodState.from_pod`` exists so the sharded-array hot path and the
+object model (PodManager, knobs, faults) describe the same platform:
+the columnar current matrix must be bit-identical to what
+``PodManager._build_problem`` derives from the VM objects.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ColumnarPodState, ColumnarServers
+from repro.core.columnar import IdIndex
+from repro.core.pod import Pod
+from repro.core.pod_manager import PodManager
+from repro.hosts.server import PhysicalServer, ServerSpec
+from repro.lbswitch.addresses import PRIVATE_RIP_POOL
+from repro.placement.sparse import SparsePlacement, SparseSolution
+from repro.workload.apps import AppSpec
+from repro.workload.demand import ConstantDemand
+
+
+def build_pod_with_load(n_servers=6, n_apps=4, seed=0):
+    rng = np.random.default_rng(seed)
+    pod = Pod("p", max_servers=100, max_vms=1000)
+    for i in range(n_servers):
+        pod.add_server(PhysicalServer(f"p-s{i}", ServerSpec(2.0, 32.0)))
+    pool = PRIVATE_RIP_POOL(10_000)
+    pm = PodManager(pod, pool)
+    specs = {
+        f"a{i}": AppSpec(f"a{i}", 0.5, ConstantDemand(1.0))
+        for i in range(n_apps)
+    }
+    demand = {a: float(rng.uniform(0.3, 2.0)) for a in specs}
+    pm.run_epoch(demand, specs)
+    return pod, pm, specs
+
+
+# ---------------------------------------------------------------- bridge
+
+
+def test_from_pod_matches_build_problem_current():
+    pod, pm, specs = build_pod_with_load()
+    apps = sorted(pod.apps_covered())
+    dense_ref = pm._build_problem(
+        pod.servers, apps, {a: 0.0 for a in apps}, specs
+    ).current
+    state = ColumnarPodState.from_pod(pod, specs, apps=apps)
+    assert np.array_equal(state.to_dense_current(), np.asarray(dense_ref))
+    # Per-entry loads come from the live cpu slices.
+    assert state.load.sum() == pytest.approx(pod.cpu_allocated)
+    assert state.n_vms == pod.n_vms
+    assert state.n_servers == pod.n_servers
+
+
+def test_from_pod_capacity_columns():
+    pod, _pm, specs = build_pod_with_load(n_servers=3)
+    state = ColumnarPodState.from_pod(pod, specs)
+    assert np.allclose(state.servers.cpu, 2.0)
+    assert np.allclose(state.servers.mem_gb, 32.0)
+    expect_mem = [specs[a].vm_mem_gb for a in sorted(pod.apps_covered())]
+    assert np.allclose(state.app_mem_gb, expect_mem)
+
+
+# ------------------------------------------------------------ primitives
+
+
+def test_id_index_stable_append_only():
+    idx = IdIndex(["b", "a"])
+    assert idx.get("b") == 0 and idx.get("a") == 1
+    assert idx.add("b") == 0  # idempotent
+    assert idx.add("c") == 2
+    assert idx.name(2) == "c" and len(idx) == 3 and "a" in idx
+
+
+def test_columnar_servers_validation():
+    with pytest.raises(ValueError):
+        ColumnarServers(cpu=np.ones(3), mem_gb=np.ones(2))
+    with pytest.raises(ValueError):
+        ColumnarServers(cpu=np.zeros(2), mem_gb=np.ones(2))
+    s = ColumnarServers.uniform(4, 8.0, 64.0, name_prefix="x")
+    assert s.n == 4 and s.name(2) == "x000002"
+
+
+def make_state(dense, load=None, cpu=8.0):
+    dense = np.asarray(dense, dtype=bool)
+    sp = SparsePlacement.from_dense(dense)
+    return ColumnarPodState(
+        pod="p",
+        servers=ColumnarServers.uniform(dense.shape[0], cpu, 64.0),
+        app_gids=np.arange(dense.shape[1], dtype=np.int64) * 10,
+        app_mem_gb=np.full(dense.shape[1], 2.0),
+        placement=sp,
+        load=np.ones(sp.nnz) if load is None else np.asarray(load, float),
+    )
+
+
+def test_local_index_maps_and_rejects():
+    state = make_state(np.eye(3, dtype=bool))
+    assert np.array_equal(state.local_index(np.array([0, 20])), [0, 2])
+    with pytest.raises(KeyError):
+        state.local_index(np.array([5]))  # not a covered gid
+
+
+def test_mem_headroom_and_utilization():
+    state = make_state([[1, 1], [0, 1]])
+    assert np.allclose(state.mem_headroom(), [60.0, 62.0])
+    assert state.utilization == pytest.approx(3.0 / 16.0)
+
+
+def test_apply_diffs_entry_sets():
+    state = make_state([[1, 1], [0, 1]])
+    new = SparsePlacement.from_dense(np.array([[1, 0], [1, 1]], dtype=bool))
+    sol = SparseSolution(
+        placement=new, load=np.full(new.nnz, 2.0), changes=2
+    )
+    stats = state.apply(sol)
+    assert stats == {
+        "started": 1,
+        "stopped": 1,
+        "changes": 2,
+        "vms": 3,
+        "satisfied_cpu": 6.0,
+    }
+    assert state.epochs_applied == 1
+    assert state.placement.equals(new)
+
+
+def test_build_problem_reuses_columns():
+    state = make_state([[1, 0], [0, 1]])
+    demand = np.array([1.0, 2.0])
+    prob = state.build_problem(demand)
+    assert prob.current is state.placement
+    assert prob.server_cpu is state.servers.cpu
+    assert np.array_equal(prob.app_cpu_demand, demand)
+
+
+def test_post_init_validation():
+    sp = SparsePlacement.from_dense(np.eye(2, dtype=bool))
+    with pytest.raises(ValueError):
+        ColumnarPodState(
+            pod="p",
+            servers=ColumnarServers.uniform(2, 1.0, 1.0),
+            app_gids=np.array([3, 1]),  # not increasing
+            app_mem_gb=np.ones(2),
+            placement=sp,
+            load=np.ones(2),
+        )
+    with pytest.raises(ValueError):
+        ColumnarPodState(
+            pod="p",
+            servers=ColumnarServers.uniform(2, 1.0, 1.0),
+            app_gids=np.array([1, 3]),
+            app_mem_gb=np.ones(2),
+            placement=sp,
+            load=np.ones(5),  # wrong entry count
+        )

@@ -197,3 +197,66 @@ def test_cmd_bench_writes_json_and_gates(tiny_fixtures, tmp_path):
     )
     assert rc == 1
     assert "REGRESSION" in out.getvalue()
+
+def test_compare_to_baseline_names_metric_and_units():
+    """Satellite of the mega lane: a violation message must say *which*
+    metric regressed and in what units, not just print two numbers."""
+    baseline = {
+        "workloads": {"w[1]": {"wall_s": 1.0, "peak_rss_mb": 100.0}}
+    }
+    current = {
+        "workloads": {"w[1]": {"wall_s": 5.0, "peak_rss_mb": 300.0}}
+    }
+    violations, _ = bench.compare_to_baseline(current, baseline, max_ratio=2.0)
+    assert len(violations) == 2
+    by_metric = {m: v for v in violations for m in ("wall_s", "peak_rss_mb") if m in v}
+    assert "metric 'wall_s' regressed" in by_metric["wall_s"]
+    assert " s " in by_metric["wall_s"]
+    assert "metric 'peak_rss_mb' regressed" in by_metric["peak_rss_mb"]
+    assert " MB " in by_metric["peak_rss_mb"]
+
+
+def test_run_suite_records_peak_rss(tiny_fixtures):
+    result = bench.run_suite("placement", quick=True)
+    for metrics in result["workloads"].values():
+        assert metrics["peak_rss_mb"] > 0
+
+
+@pytest.mark.slow
+def test_cmd_mega_quick_writes_json_and_gates(tmp_path):
+    out = io.StringIO()
+    rc = bench.cmd_mega(
+        quick=True,
+        out_dir=str(tmp_path),
+        workers=1,
+        epochs=2,
+        baseline=None,
+        max_regression=2.0,
+        max_rss_mb=8192.0,
+        out=out,
+    )
+    assert rc == 0
+    payload = json.loads((tmp_path / bench.MEGA_FILE).read_text())
+    assert payload["schema"] == bench.SCHEMA
+    (wid, metrics), = payload["workloads"].items()
+    assert wid.startswith("mega[pods=60,")
+    assert metrics["epochs"] == 2
+    assert metrics["delta_shipping_engaged"] is True
+    assert metrics["satisfied_fraction_min"] >= 0.98
+    assert metrics["wall_per_epoch_s"] > 0
+
+    # Re-running into the same directory merges, and an absurd RSS budget
+    # fails with a message naming the metric.
+    out = io.StringIO()
+    rc = bench.cmd_mega(
+        quick=True,
+        out_dir=str(tmp_path),
+        workers=1,
+        epochs=2,
+        baseline=str(tmp_path),
+        max_regression=2.0,
+        max_rss_mb=1.0,
+        out=out,
+    )
+    assert rc == 1
+    assert "peak_rss_mb" in out.getvalue()
