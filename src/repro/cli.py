@@ -51,6 +51,13 @@ EXPERIMENTS: dict[str, tuple[str, str, dict, str]] = {
         {},
         "mega scale: paper Section I size through the bounded-memory driver",
     ),
+    "e18": (
+        "e18_mega_faults",
+        "run",
+        {},
+        "mega faults: pod losses + server crashes through the unified "
+        "loop; MTTR, drop and RIP-mirror accounting",
+    ),
     "a1": ("ablations", "run_pod_size", {}, "ablation: pod size"),
     "a2": ("ablations", "run_drain_ablation", {}, "ablation: K2 drain-first"),
     "a3": ("ablations", "run_damping_ablation", {}, "ablation: K1 damping"),
@@ -372,6 +379,13 @@ def main(argv: list[str] | None = None) -> int:
         default=8192.0,
         help="fail if peak RSS exceeds this many MB (acceptance budget)",
     )
+    mega_p.add_argument(
+        "--faults",
+        action="store_true",
+        help="also run the fault lane (E18's scripted fail/repair cycle); "
+        "adds a mega_faults workload entry gated on recovery, MTTR and "
+        "the RIP-mirror CRC",
+    )
     trace_p = sub.add_parser(
         "trace", help="summarize or diff JSONL trace files"
     )
@@ -425,6 +439,7 @@ def main(argv: list[str] | None = None) -> int:
             baseline=args.baseline,
             max_regression=args.max_regression,
             max_rss_mb=args.max_rss_mb,
+            faults=args.faults,
         )
     if args.command == "trace":
         if args.trace_command == "summary":

@@ -22,6 +22,7 @@ package gives it the survival kit real mega-datacenter controllers carry:
   partitions.
 """
 
+from repro.controlplane.bridge import RipJournalBridge
 from repro.controlplane.checkpoint import Checkpoint, CheckpointStore
 from repro.controlplane.journal import JournalRecord, OpPhase, WriteAheadJournal
 from repro.controlplane.reconciler import AntiEntropyReconciler, DriftReport
@@ -42,6 +43,7 @@ __all__ = [
     "JournalRecord",
     "OpPhase",
     "RetryPolicy",
+    "RipJournalBridge",
     "ShardDriftReport",
     "ShardOwnershipMap",
     "ShardedControlPlane",

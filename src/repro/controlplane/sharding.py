@@ -428,6 +428,29 @@ class ShardedControlPlane:
         """The owner shard's view of *app*'s VIP placements."""
         return dict(self.owner_shard(app).manager.registry.get(app, {}))
 
+    def rip_homing(self) -> dict[str, tuple[str, str, str, float]]:
+        """Authoritative ``rip -> (app, vip, switch, weight)`` across all
+        shards, read straight off the switch tables.  Shards own disjoint
+        switch slices, so merging per-shard snapshots cannot collide on a
+        switch; a RIP transiently visible on two switches mid-migration
+        resolves to the lexically-last switch (deterministic, and settled
+        state never double-homes — the auditor checks that)."""
+        homing: dict[str, tuple[str, str, str, float]] = {}
+        for shard in self.shards:
+            homing.update(shard.manager.rip_homing())
+        return homing
+
+    def journal_frontiers(self) -> dict[str, tuple[int, int]]:
+        """Per-shard ``journal name -> (applied_epoch, checkpoint_epoch)``
+        — the fence a journal-tailing mirror syncs against."""
+        return {
+            shard.journal.name: (
+                shard.manager.applied_epoch,
+                shard.checkpoints.epoch,
+            )
+            for shard in self.shards
+        }
+
     def mark_failed(self, switch_name: str) -> None:
         for shard in self.shards:
             shard.manager.mark_failed(switch_name)

@@ -27,8 +27,13 @@ from repro.core.global_manager import GlobalManager
 from repro.core.datacenter import MegaDataCenter
 from repro.core.two_layer import TwoLayerFabric
 from repro.core.energy import EnergyAccountant, PowerModel
-from repro.core.columnar import ColumnarPodState, ColumnarServers
-from repro.core.mega import MegaConfig, MegaEpochReport, MegaScaleDriver
+from repro.core.columnar import ColumnarPodState, ColumnarRipRegistry, ColumnarServers
+from repro.core.mega import (
+    MegaConfig,
+    MegaControlPlaneConfig,
+    MegaEpochReport,
+    MegaScaleDriver,
+)
 
 __all__ = [
     "PlatformConfig",
@@ -48,8 +53,10 @@ __all__ = [
     "PowerModel",
     "EnergyAccountant",
     "ColumnarPodState",
+    "ColumnarRipRegistry",
     "ColumnarServers",
     "MegaConfig",
+    "MegaControlPlaneConfig",
     "MegaEpochReport",
     "MegaScaleDriver",
 ]

@@ -71,11 +71,17 @@ class IdIndex:
 
 @dataclass
 class ColumnarServers:
-    """Per-server capacity columns; the row index is the server id."""
+    """Per-server capacity columns; the row index is the server id.
+
+    ``ids`` carries each row's *original* server number so names survive
+    fault-path removals: when row 3 is crashed out of the pod, the old
+    row 4 shifts down but keeps its ``...000004`` name.
+    """
 
     cpu: np.ndarray
     mem_gb: np.ndarray
     name_prefix: str = "s"
+    ids: Optional[np.ndarray] = None
 
     def __post_init__(self):
         self.cpu = np.ascontiguousarray(self.cpu, dtype=float)
@@ -84,6 +90,14 @@ class ColumnarServers:
             raise ValueError("cpu / mem_gb must be aligned")
         if (self.cpu <= 0).any() or (self.mem_gb <= 0).any():
             raise ValueError("server capacities must be positive")
+        if self.ids is None:
+            self.ids = np.arange(self.cpu.shape[0], dtype=np.int64)
+        else:
+            self.ids = np.ascontiguousarray(self.ids, dtype=np.int64)
+            if self.ids.shape != self.cpu.shape:
+                raise ValueError("ids must align with capacities")
+            if self.ids.size > 1 and (np.diff(self.ids) <= 0).any():
+                raise ValueError("ids must be strictly increasing")
 
     @classmethod
     def uniform(
@@ -101,7 +115,14 @@ class ColumnarServers:
 
     def name(self, i: int) -> str:
         """Materialize a server name on demand (never stored per row)."""
-        return f"{self.name_prefix}{i:06d}"
+        return f"{self.name_prefix}{int(self.ids[i]):06d}"
+
+    def row_of(self, server_id: int) -> int:
+        """Current row index of original server *server_id*."""
+        pos = int(np.searchsorted(self.ids, server_id))
+        if pos >= self.n or self.ids[pos] != server_id:
+            raise KeyError(f"server id {server_id} not present")
+        return pos
 
 
 @dataclass
@@ -207,6 +228,52 @@ class ColumnarPodState:
             "satisfied_cpu": float(self.load.sum()),
         }
 
+    # -- fault surgery ------------------------------------------------
+    def clear_placement(self) -> int:
+        """Every VM in the pod dies at once (``pod_loss``): the placement
+        empties, capacities survive.  Returns the number of VMs lost."""
+        lost = self.n_vms
+        self.placement = SparsePlacement.empty(self.placement.shape)
+        self.load = np.zeros(0)
+        return lost
+
+    def remove_server(self, server_id: int) -> int:
+        """Crash original server *server_id* out of the pod.
+
+        Mirrors ``PodManager.crash_server``: the row's VMs are lost and
+        the server leaves the pod (the placement problem shrinks), so the
+        dense-delegating controller sees exactly the matrix the object
+        model would build.  Returns the number of VMs lost.
+        """
+        row = self.servers.row_of(server_id)
+        self.placement, kept = self.placement.drop_row(row)
+        lost = int(self.load.shape[0] - kept.sum())
+        self.load = self.load[kept]
+        self.servers = ColumnarServers(
+            cpu=np.delete(self.servers.cpu, row),
+            mem_gb=np.delete(self.servers.mem_gb, row),
+            name_prefix=self.servers.name_prefix,
+            ids=np.delete(self.servers.ids, row),
+        )
+        return lost
+
+    def insert_server(self, server_id: int, cpu: float, mem_gb: float) -> int:
+        """A crashed server rejoins empty, at the row its (sorted) original
+        id dictates — the position an object pod's name-sorted server list
+        would give it back.  Returns the row index it landed on."""
+        ids = self.servers.ids
+        row = int(np.searchsorted(ids, server_id))
+        if row < ids.shape[0] and ids[row] == server_id:
+            raise ValueError(f"server id {server_id} already present")
+        self.placement = self.placement.insert_empty_row(row)
+        self.servers = ColumnarServers(
+            cpu=np.insert(self.servers.cpu, row, float(cpu)),
+            mem_gb=np.insert(self.servers.mem_gb, row, float(mem_gb)),
+            name_prefix=self.servers.name_prefix,
+            ids=np.insert(ids, row, server_id),
+        )
+        return row
+
     # -- object-API bridge --------------------------------------------
     @classmethod
     def from_pod(cls, pod, specs: Mapping, apps: Optional[list] = None) -> "ColumnarPodState":
@@ -252,3 +319,249 @@ class ColumnarPodState:
     def to_dense_current(self) -> np.ndarray:
         """Dense boolean current matrix (small-scale reference view)."""
         return self.placement.to_dense()
+
+
+class ColumnarRipRegistry:
+    """Columnar mirror of RIP homing state: app -> RIP -> pod as columns.
+
+    The control plane (``ShardedControlPlane`` / ``VipRipManager``) stays
+    the authority; this registry is the mega-scale *read* side — flat
+    integer-id columns the epoch loop can scan without touching Python
+    registries.  Names get stable integer ids on first sight (``IdIndex``);
+    per-RIP columns hold the owning app, serving VIP, home switch, host
+    pod and weight, plus an ``active`` bit (ids are never reused, so a
+    deleted RIP keeps its row and can be re-wired in place).
+
+    Mutations are *guarded by switch*: a deactivate/rehome only applies
+    when the mirror's current home switch matches the operation's switch.
+    Every journal record names a switch owned by the shard that journaled
+    it, so per-switch operation order equals per-shard journal order —
+    the guard makes replaying shard journals in any per-shard interleaving
+    converge to the authority's end state (see
+    :class:`~repro.controlplane.bridge.RipJournalBridge`).
+    """
+
+    _GROW = 64
+
+    def __init__(self):
+        self.apps = IdIndex()
+        self.rips = IdIndex()
+        self.vips = IdIndex()
+        self.switches = IdIndex()
+        self.pods = IdIndex()
+        n = self._GROW
+        self.rip_app = np.full(n, -1, dtype=np.int64)
+        self.rip_vip = np.full(n, -1, dtype=np.int64)
+        self.rip_switch = np.full(n, -1, dtype=np.int64)
+        self.rip_pod = np.full(n, -1, dtype=np.int64)
+        self.rip_weight = np.zeros(n, dtype=float)
+        self.rip_active = np.zeros(n, dtype=bool)
+        #: Mutations applied (wire/unwire/rehome/reweigh), for sync stats.
+        self.ops_applied = 0
+
+    # -- sizing -------------------------------------------------------
+    def _ensure(self, rid: int) -> None:
+        cap = self.rip_app.shape[0]
+        if rid < cap:
+            return
+        new = max(cap * 2, rid + 1)
+        for attr, fill in (
+            ("rip_app", -1), ("rip_vip", -1), ("rip_switch", -1),
+            ("rip_pod", -1), ("rip_weight", 0.0), ("rip_active", False),
+        ):
+            old = getattr(self, attr)
+            grown = np.full(new, fill, dtype=old.dtype)
+            grown[:cap] = old
+            setattr(self, attr, grown)
+
+    @property
+    def n_rips(self) -> int:
+        """RIP ids ever assigned (rows in use, active or not)."""
+        return len(self.rips)
+
+    @property
+    def n_active(self) -> int:
+        return int(self.rip_active[: self.n_rips].sum())
+
+    # -- mutations (journal-record granularity) -----------------------
+    def wire(
+        self,
+        rip: str,
+        app: str,
+        vip: str,
+        switch: str,
+        pod: Optional[str],
+        weight: float = 1.0,
+    ) -> int:
+        """Activate (or re-wire) one RIP; returns its stable id."""
+        rid = self.rips.add(rip)
+        self._ensure(rid)
+        self.rip_app[rid] = self.apps.add(app)
+        self.rip_vip[rid] = self.vips.add(vip)
+        self.rip_switch[rid] = self.switches.add(switch)
+        self.rip_pod[rid] = self.pods.add(pod) if pod is not None else -1
+        self.rip_weight[rid] = float(weight)
+        self.rip_active[rid] = True
+        self.ops_applied += 1
+        return rid
+
+    def unwire(self, rip: str, switch: Optional[str] = None) -> bool:
+        """Deactivate one RIP; when *switch* is given the unwire only
+        applies if that is still the RIP's home (the replay guard)."""
+        if rip not in self.rips:
+            return False
+        rid = self.rips.get(rip)
+        if not self.rip_active[rid]:
+            return False
+        if switch is not None and (
+            switch not in self.switches
+            or self.rip_switch[rid] != self.switches.get(switch)
+        ):
+            return False
+        self.rip_active[rid] = False
+        self.ops_applied += 1
+        return True
+
+    def deactivate_vip(self, vip: str, switch: Optional[str] = None) -> int:
+        """Deactivate every active RIP served by *vip* (a ``del_vip``
+        without the settled rip list); switch-guarded like :meth:`unwire`.
+        Returns how many were deactivated."""
+        if vip not in self.vips:
+            return 0
+        n = self.n_rips
+        mask = self.rip_active[:n] & (self.rip_vip[:n] == self.vips.get(vip))
+        if switch is not None:
+            if switch not in self.switches:
+                return 0
+            mask &= self.rip_switch[:n] == self.switches.get(switch)
+        dropped = int(mask.sum())
+        if dropped:
+            self.rip_active[:n][mask] = False
+            self.ops_applied += 1
+        return dropped
+
+    def rehome_vip(self, vip: str, src: Optional[str], dst: str) -> int:
+        """Move every active RIP served by *vip* from switch *src* to
+        *dst* (a ``move_vip``); returns how many moved."""
+        if vip not in self.vips:
+            return 0
+        vid = self.vips.get(vip)
+        n = self.n_rips
+        mask = self.rip_active[:n] & (self.rip_vip[:n] == vid)
+        if src is not None and src in self.switches:
+            mask &= self.rip_switch[:n] == self.switches.get(src)
+        elif src is not None:
+            return 0
+        moved = int(mask.sum())
+        if moved:
+            self.rip_switch[:n][mask] = self.switches.add(dst)
+            self.ops_applied += 1
+        return moved
+
+    def reweigh(self, rip: str, switch: str, weight: float) -> bool:
+        if rip not in self.rips:
+            return False
+        rid = self.rips.get(rip)
+        if not self.rip_active[rid]:
+            return False
+        if switch not in self.switches or (
+            self.rip_switch[rid] != self.switches.get(switch)
+        ):
+            return False
+        self.rip_weight[rid] = float(weight)
+        self.ops_applied += 1
+        return True
+
+    @classmethod
+    def from_authority(cls, homing: dict, pod_of=None) -> "ColumnarRipRegistry":
+        """Full rebuild from an authoritative snapshot — the output of
+        :meth:`~repro.core.viprip.VipRipManager.rip_homing` /
+        :meth:`~repro.controlplane.sharding.ShardedControlPlane.rip_homing`
+        (``rip -> (app, vip, switch, weight)``).  *pod_of* optionally maps
+        a RIP name to its hosting pod."""
+        reg = cls()
+        for rip in sorted(homing):
+            app, vip, switch, weight = homing[rip]
+            reg.wire(
+                rip, app, vip, switch,
+                pod_of(rip) if pod_of is not None else None,
+                weight,
+            )
+        reg.ops_applied = 0
+        return reg
+
+    # -- views --------------------------------------------------------
+    def csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR app -> RIP mapping over active entries.
+
+        Returns ``(indptr, rip_ids)``: RIP ids of app *a* (sorted
+        ascending) are ``rip_ids[indptr[a]:indptr[a+1]]``.
+        """
+        n = self.n_rips
+        rids = np.flatnonzero(self.rip_active[:n])
+        apps = self.rip_app[rids]
+        order = np.lexsort((rids, apps))
+        rids, apps = rids[order], apps[order]
+        indptr = np.zeros(len(self.apps) + 1, dtype=np.int64)
+        np.cumsum(np.bincount(apps, minlength=len(self.apps)), out=indptr[1:])
+        return indptr, rids
+
+    def rips_of_app(self, app: str) -> list[str]:
+        if app not in self.apps:
+            return []
+        indptr, rids = self.csr()
+        aid = self.apps.get(app)
+        return [self.rips.name(int(r)) for r in rids[indptr[aid] : indptr[aid + 1]]]
+
+    def pods_of_app(self, app: str) -> list[str]:
+        """Distinct pods hosting active RIPs of *app* (sorted)."""
+        if app not in self.apps:
+            return []
+        indptr, rids = self.csr()
+        aid = self.apps.get(app)
+        pids = np.unique(self.rip_pod[rids[indptr[aid] : indptr[aid + 1]]])
+        return sorted(self.pods.name(int(p)) for p in pids if p >= 0)
+
+    def homing(self, rip: str) -> Optional[tuple]:
+        """``(app, vip, switch, pod, weight)`` of an active RIP, else None."""
+        if rip not in self.rips:
+            return None
+        rid = self.rips.get(rip)
+        if not self.rip_active[rid]:
+            return None
+        pod_id = int(self.rip_pod[rid])
+        return (
+            self.apps.name(int(self.rip_app[rid])),
+            self.vips.name(int(self.rip_vip[rid])),
+            self.switches.name(int(self.rip_switch[rid])),
+            self.pods.name(pod_id) if pod_id >= 0 else None,
+            float(self.rip_weight[rid]),
+        )
+
+    def snapshot(self) -> dict:
+        """Name-keyed view of the active rows (test/verify surface)."""
+        out = {}
+        for rid in np.flatnonzero(self.rip_active[: self.n_rips]):
+            rip = self.rips.name(int(rid))
+            out[rip] = self.homing(rip)
+        return out
+
+    def fingerprint(self) -> int:
+        """CRC32 witness over the canonical (name-sorted) active rows.
+
+        Canonicalized by *names*, not ids, so a mirror built incrementally
+        from journal deltas fingerprints identically to one rebuilt from
+        the authority even though their id assignment orders differ —
+        the same role the resident-state CRCs play in the perf engine.
+        """
+        import zlib
+
+        h = zlib.crc32(b"riprows:v1")
+        for rip in sorted(
+            self.rips.name(int(r))
+            for r in np.flatnonzero(self.rip_active[: self.n_rips])
+        ):
+            app, vip, switch, pod, weight = self.homing(rip)
+            line = f"{rip}|{app}|{vip}|{switch}|{pod}|{weight:.9g}\n"
+            h = zlib.crc32(line.encode(), h)
+        return h

@@ -640,6 +640,28 @@ class MegaDataCenter:
     # DNS re-steered) — not when the hardware comes back.  The fault
     # injector waits on these to measure MTTR.
 
+    def fault_targets(self) -> dict[str, set[str]]:
+        """Every target name the fault handlers can resolve, by fault
+        class — the inventory :meth:`FaultSchedule.validate_targets`
+        checks schedules against before injection ever starts."""
+        targets: dict[str, set[str]] = {
+            "server": set(self.state.servers) | set(self._crashed_servers),
+            "switch": set(self.switches),
+            "link": set(self.internet.links),
+        }
+        if self.viprip is not None:
+            managers = {"viprip", "manager"}
+            if isinstance(self.viprip, ShardedControlPlane):
+                managers |= {s.name for s in self.viprip.shards}
+                targets["shard"] = {
+                    f"{a.name}:{b.name}"
+                    for a in self.viprip.shards
+                    for b in self.viprip.shards
+                    if a.id != b.id
+                }
+            targets["manager"] = managers
+        return targets
+
     def crash_server(self, name: str) -> Event:
         """A physical server dies: its VMs are lost on the spot; after the
         detection delay the owning pod manager re-places the displaced

@@ -41,6 +41,28 @@ from repro.workload.streaming import StreamingWorkload
 
 
 @dataclass
+class MegaControlPlaneConfig:
+    """Wiring of the sharded VIP/RIP control plane into the mega loop.
+
+    The full 6M-VM fleet cannot route one simpy request per VM; instead a
+    bounded, deterministic subset of apps (the first *wired_apps* global
+    ids) gets real VIP/RIP state on a :class:`ShardedControlPlane` — one
+    VIP per app, one RIP per covering pod named ``{app}@{pod}`` so the
+    columnar mirror can derive pod homing from the RIP name alone.  Pod
+    faults flow through as ``del_rip`` / ``new_rip`` submissions, and a
+    :class:`~repro.controlplane.bridge.RipJournalBridge` keeps the
+    columnar registry synced from the shard journals every epoch.
+    """
+
+    n_shards: int = 2
+    switches_per_shard: int = 2
+    wired_apps: int = 32
+    reconfig_s: float = 1.0
+    max_vips: int = 256
+    max_rips: int = 16_384
+
+
+@dataclass
 class MegaConfig:
     """Scale knobs for one mega run; defaults are the paper's Section I."""
 
@@ -130,6 +152,15 @@ class MegaEpochReport:
     full_tasks: int
     bytes_shipped: int
     peak_rss_mb: float
+    #: Demand of apps whose covering pods are ALL down — black-holed.
+    dropped_cpu: float = 0.0
+    #: Pods dark during this epoch.
+    pods_down: int = 0
+    #: Journal records the RIP bridge applied this epoch (0 when the
+    #: control plane is not wired).
+    rip_records: int = 0
+    #: CRC fingerprint of the columnar RIP mirror after sync.
+    rip_fingerprint: int = 0
 
     @property
     def satisfied_fraction(self) -> float:
@@ -149,7 +180,12 @@ class MegaScaleDriver:
     demand chunks are scattered and a ``mega.epoch`` summary per epoch.
     """
 
-    def __init__(self, config: MegaConfig, trace=None):
+    def __init__(
+        self,
+        config: MegaConfig,
+        trace=None,
+        control_plane: Optional[MegaControlPlaneConfig] = None,
+    ):
         self.config = config
         self.trace = trace
         self.workload = StreamingWorkload(
@@ -165,7 +201,30 @@ class MegaScaleDriver:
         self._demand_buffers: list[np.ndarray] = []
         self.epochs_run = 0
         self.demand_fingerprint: Optional[str] = None
+        # -- fault state -------------------------------------------------
+        #: Liveness mask over pods; dead pods host nothing and solve
+        #: nothing until restored.
+        self.pod_alive = np.ones(config.n_pods, dtype=bool)
+        #: Per-app count of *alive* covering pods; demand splits across
+        #: these (K3 spill: survivors absorb a dead pod's share).  Apps at
+        #: zero are black-holed and tallied as dropped demand.
+        self._app_alive_cover = np.full(config.n_apps, config.cover, dtype=np.int64)
+        #: Crashed mega servers parked for recovery:
+        #: name -> (pod name, server id, cpu, mem_gb).
+        self._crashed_servers: dict[str, tuple[str, int, float, float]] = {}
+        #: Optional epoch-time fault injector (set by MegaFaultInjector).
+        self.fault_injector = None
+        #: Optional RecoveryMonitor fed dropped demand + MTTR.
+        self.monitor = None
         self._bootstrap()
+        self._pod_index = {pod.pod: i for i, pod in enumerate(self.pods)}
+        # -- control plane -----------------------------------------------
+        self.control_plane = None
+        self.bridge = None
+        self._cp_env = None
+        self._wired_gids: np.ndarray = np.zeros(0, dtype=np.int64)
+        if control_plane is not None:
+            self._init_control_plane(control_plane)
 
     # -- construction -------------------------------------------------
     def _pod_app_gids(self, p: int) -> np.ndarray:
@@ -222,67 +281,284 @@ class MegaScaleDriver:
             )
             self._demand_buffers.append(np.zeros(gids.size))
 
+    # -- control plane -------------------------------------------------
+    @staticmethod
+    def _app_name(gid: int) -> str:
+        return f"app-{gid:06d}"
+
+    @staticmethod
+    def _pod_of_rip(rip: str) -> Optional[str]:
+        """RIPs are named ``{app}@{pod}`` — pod homing from the name."""
+        _, sep, pod = rip.partition("@")
+        return pod if sep else None
+
+    def _init_control_plane(self, cp: MegaControlPlaneConfig) -> None:
+        from repro.controlplane.bridge import RipJournalBridge
+        from repro.controlplane.sharding import ShardedControlPlane
+        from repro.core.viprip import VipRipRequest
+        from repro.lbswitch.addresses import PUBLIC_VIP_POOL
+        from repro.lbswitch.switch import LBSwitch, SwitchLimits
+        from repro.sim import Environment
+
+        cfg = self.config
+        self._cp_config = cp
+        self._cp_env = Environment()
+        n_switches = cp.n_shards * cp.switches_per_shard
+        switches = [
+            LBSwitch(
+                f"lb-{i:02d}",
+                self._cp_env,
+                SwitchLimits(max_vips=cp.max_vips, max_rips=cp.max_rips),
+            )
+            for i in range(n_switches)
+        ]
+        self.control_plane = ShardedControlPlane(
+            self._cp_env,
+            switches,
+            PUBLIC_VIP_POOL(max(1000, cp.wired_apps * 2)),
+            cp.n_shards,
+            reconfig_s=cp.reconfig_s,
+            trace=self.trace,
+        )
+        self._wired_gids = np.arange(
+            min(cp.wired_apps, cfg.n_apps), dtype=np.int64
+        )
+        self._VipRipRequest = VipRipRequest
+        for gid in self._wired_gids:
+            self.control_plane.submit(VipRipRequest("new_vip", self._app_name(gid)))
+        self._cp_env.run()
+        for gid in self._wired_gids:
+            app = self._app_name(gid)
+            for pod_name in self._covering_pods(int(gid)):
+                self.control_plane.submit(
+                    VipRipRequest("new_rip", app, rip=f"{app}@{pod_name}")
+                )
+        self._cp_env.run()
+        self.bridge = RipJournalBridge(
+            self.control_plane,
+            pod_of=self._pod_of_rip,
+            trace=self.trace,
+            clock=lambda: self._cp_env.now,
+        )
+        self.bridge.sync()
+
+    def _covering_pods(self, gid: int) -> list[str]:
+        """Pods covered by app *gid* under the arithmetic coverage rule."""
+        cfg = self.config
+        return [
+            f"pod-{(gid + j) % cfg.n_pods:03d}" for j in range(cfg.cover)
+        ]
+
+    def _cp_pod_event(self, pod_name: str, up: bool) -> None:
+        """Propagate a pod fault to the control plane: drop (or restore)
+        the wired RIPs homed in that pod, then sync the mirror."""
+        if self.control_plane is None:
+            return
+        p = self._pod_index[pod_name]
+        cfg = self.config
+        for gid in self._wired_gids:
+            if ((p - int(gid)) % cfg.n_pods) >= cfg.cover:
+                continue
+            app = self._app_name(int(gid))
+            self.control_plane.submit(
+                self._VipRipRequest(
+                    "new_rip" if up else "del_rip", app,
+                    rip=f"{app}@{pod_name}",
+                )
+            )
+        self._cp_env.run()
+
+    # -- fault surgery -------------------------------------------------
+    def fault_targets(self) -> dict[str, set[str]]:
+        """Target inventory for :meth:`FaultSchedule.validate_targets`:
+        every pod and server name this driver can resolve (crashed
+        servers stay valid — they are recovery targets)."""
+        servers: set[str] = set(self._crashed_servers)
+        for pod in self.pods:
+            servers.update(
+                pod.servers.name(i) for i in range(pod.servers.cpu.shape[0])
+            )
+        return {"pod": set(self._pod_index), "server": servers}
+
+    def _emit_fault(self, kind: str, target: str, t: float, **extra) -> None:
+        if self.trace is not None and self.trace.enabled:
+            self.trace.emit("mega.fault", t=t, fault=kind, target=target, **extra)
+
+    def _emit_vacate(
+        self, pod_name: str, t: float, before: int, stopped: int
+    ) -> None:
+        """K3 conservation witness: the auditor checks
+        ``vms_after == vms_before - stopped`` on every ``k3.vacate``."""
+        if self.trace is not None and self.trace.enabled:
+            self.trace.emit(
+                "k3.vacate", t=t, pod=pod_name, requested=stopped,
+                vacated=stopped, migrations=0, stopped=stopped,
+                vms_before=before, vms_after=before - stopped,
+            )
+
+    def lose_pod(self, name: str, t: float = 0.0) -> int:
+        """An entire pod goes dark: every hosted VM is lost and the pod's
+        demand share spills to the surviving covering pods next epoch.
+        Returns the VM count lost."""
+        p = self._pod_index[name]
+        if not self.pod_alive[p]:
+            return 0
+        pod = self.pods[p]
+        before = pod.n_vms
+        lost = pod.clear_placement()
+        self.pod_alive[p] = False
+        self._app_alive_cover[self._pod_app_gids(p)] -= 1
+        self._emit_fault("pod_loss", name, t, lost_vms=lost)
+        self._emit_vacate(name, t, before, lost)
+        self._cp_pod_event(name, up=False)
+        if self.bridge is not None:
+            self.bridge.sync()
+        return lost
+
+    def restore_pod(self, name: str, t: float = 0.0) -> None:
+        """A lost pod rejoins empty; the next epoch re-places into it."""
+        p = self._pod_index[name]
+        if self.pod_alive[p]:
+            return
+        self.pod_alive[p] = True
+        self._app_alive_cover[self._pod_app_gids(p)] += 1
+        self._emit_fault("pod_restore", name, t)
+        self._cp_pod_event(name, up=True)
+        if self.bridge is not None:
+            self.bridge.sync()
+
+    def _parse_server(self, name: str) -> tuple[str, int]:
+        pod_name, sep, sid = name.rpartition("-s")
+        if not sep or pod_name not in self._pod_index:
+            raise KeyError(f"unknown mega server {name!r}")
+        return pod_name, int(sid)
+
+    def crash_server(self, name: str, t: float = 0.0) -> int:
+        """One server dies: its row leaves the pod's columnar state (VMs
+        lost); the pod re-places the displaced demand next epoch, matching
+        the object model's ``PodManager.crash_server`` semantics."""
+        if name in self._crashed_servers:
+            return 0
+        pod_name, sid = self._parse_server(name)
+        pod = self.pods[self._pod_index[pod_name]]
+        row = pod.servers.row_of(sid)
+        cpu = float(pod.servers.cpu[row])
+        mem = float(pod.servers.mem_gb[row])
+        before = pod.n_vms
+        lost = pod.remove_server(sid)
+        self._crashed_servers[name] = (pod_name, sid, cpu, mem)
+        self._emit_fault("server_crash", name, t, lost_vms=lost)
+        self._emit_vacate(pod_name, t, before, lost)
+        return lost
+
+    def recover_server(self, name: str, t: float = 0.0) -> None:
+        """A crashed server rejoins its pod empty, at its original sorted
+        position (stable names: ids never shift)."""
+        parked = self._crashed_servers.pop(name, None)
+        if parked is None:
+            return
+        pod_name, sid, cpu, mem = parked
+        self.pods[self._pod_index[pod_name]].insert_server(sid, cpu, mem)
+        self._emit_fault("server_recover", name, t)
+
     # -- epoch loop ---------------------------------------------------
     @property
     def n_vms(self) -> int:
         return sum(pod.n_vms for pod in self.pods)
 
-    def _scatter_demand(self, t: float, epoch: int) -> None:
-        """Stream demand chunks into the per-pod local demand buffers."""
+    def _scatter_demand(self, t: float, epoch: int) -> float:
+        """Stream demand chunks into the per-pod local demand buffers.
+
+        With every pod alive this is the scalar ``/cover`` split of PR 7
+        (byte-identical).  Under pod loss each app's demand splits across
+        its *alive* covering pods only — the K3 spill — and apps with no
+        alive covering pod are black-holed; their demand is returned as
+        the epoch's dropped CPU."""
         cfg = self.config
         tracing = self.trace is not None and self.trace.enabled
+        all_alive = bool(self.pod_alive.all())
+        dropped = 0.0
         for lo, hi, vals in self.workload.chunks(t, cfg.chunk_apps):
             if tracing:
                 self.trace.emit(
                     "mega.chunk", t=t, epoch=epoch, lo=lo, hi=hi,
                     nbytes=int(vals.nbytes),
                 )
-            for pod, buf in zip(self.pods, self._demand_buffers):
+            if not all_alive:
+                cov = self._app_alive_cover[lo:hi]
+                dead = cov == 0
+                if dead.any():
+                    dropped += float(vals[dead].sum())
+            for p, (pod, buf) in enumerate(zip(self.pods, self._demand_buffers)):
+                if not self.pod_alive[p]:
+                    continue
                 s0, s1 = np.searchsorted(pod.app_gids, (lo, hi))
                 if s0 == s1:
                     continue
                 gsel = pod.app_gids[s0:s1]
-                buf[s0:s1] = vals[gsel - lo] / cfg.cover
+                if all_alive:
+                    buf[s0:s1] = vals[gsel - lo] / cfg.cover
+                else:
+                    # An alive covering pod implies cov >= 1 for its apps.
+                    buf[s0:s1] = vals[gsel - lo] / cov[gsel - lo]
+        return dropped
 
     def run_epoch(self, epoch: Optional[int] = None) -> MegaEpochReport:
-        """Stream demand, solve all pods through the engine, apply."""
+        """One unified epoch: inject due faults, stream demand (spilling
+        dead pods' shares to survivors), solve all alive pods through the
+        engine, apply, then sync the control-plane mirror."""
         cfg = self.config
         if epoch is None:
             epoch = self.epochs_run
         t = epoch * cfg.epoch_s
         t0 = time.perf_counter()
+        rip_before = self.bridge.records_applied if self.bridge is not None else 0
+        if self.fault_injector is not None:
+            self.fault_injector.advance(t)
         bytes_before = (
             self.engine.bytes_shipped_delta + self.engine.bytes_shipped_full
         )
         delta_before = self.engine.delta_tasks
         full_before = self.engine.full_tasks
-        self._scatter_demand(t, epoch)
+        dropped = self._scatter_demand(t, epoch)
+        alive = [p for p in range(cfg.n_pods) if self.pod_alive[p]]
         tasks = [
             PlacementTask(
-                key=pod.pod,
-                problem=pod.build_problem(buf),
-                controller=ctrl,
-                seed=derive_seed(pod.pod, epoch),
+                key=self.pods[p].pod,
+                problem=self.pods[p].build_problem(self._demand_buffers[p]),
+                controller=self.controllers[p],
+                seed=derive_seed(self.pods[p].pod, epoch),
                 trace_ctx={"t": t, "epoch": epoch},
             )
-            for pod, buf, ctrl in zip(
-                self.pods, self._demand_buffers, self.controllers
-            )
+            for p in alive
         ]
         solutions = self.engine.solve_batch(tasks)
         started = stopped = 0
         satisfied = 0.0
-        for pod, solution in zip(self.pods, solutions):
-            stats = pod.apply(solution)
+        for p, solution in zip(alive, solutions):
+            stats = self.pods[p].apply(solution)
             started += stats["started"]
             stopped += stats["stopped"]
             satisfied += stats["satisfied_cpu"]
+        if dropped > 0 and self.monitor is not None:
+            self.monitor.note_dropped(dropped, cfg.epoch_s)
+        rip_records = 0
+        rip_fp = 0
+        if self.bridge is not None:
+            self._cp_env.run()
+            sync = self.bridge.sync()
+            rip_records = self.bridge.records_applied - rip_before
+            rip_fp = sync["fingerprint"]
         self.epochs_run += 1
         report = MegaEpochReport(
             epoch=epoch,
             t=t,
             wall_s=time.perf_counter() - t0,
-            demand_cpu=float(sum(b.sum() for b in self._demand_buffers)),
+            demand_cpu=float(
+                sum(
+                    self._demand_buffers[p].sum() for p in alive
+                )
+            ),
             satisfied_cpu=satisfied,
             changes=started + stopped,
             started=started,
@@ -296,7 +572,13 @@ class MegaScaleDriver:
                 - bytes_before
             ),
             peak_rss_mb=peak_rss_mb(),
+            dropped_cpu=dropped,
+            pods_down=cfg.n_pods - len(alive),
+            rip_records=rip_records,
+            rip_fingerprint=rip_fp,
         )
+        if self.fault_injector is not None:
+            self.fault_injector.epoch_done(t, report)
         if self.trace is not None and self.trace.enabled:
             self.trace.emit(
                 "mega.epoch", t=t, epoch=epoch,
@@ -305,6 +587,7 @@ class MegaScaleDriver:
                 changes=report.changes, vms=report.vms,
                 delta_tasks=report.delta_tasks, full_tasks=report.full_tasks,
             )
+            self.trace.emit("epoch.end", t=t, epoch=epoch)
         return report
 
     def run(self, epochs: int) -> list[MegaEpochReport]:

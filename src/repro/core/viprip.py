@@ -272,6 +272,23 @@ class VipRipManager:
                     busy.add(vip)
         return busy
 
+    def rip_homing(self) -> dict[str, tuple[str, str, str, float]]:
+        """Authoritative ``rip -> (app, vip, switch, weight)`` snapshot.
+
+        Read straight off the switch tables this manager owns (not the
+        volatile registries), so it is exactly the state a columnar RIP
+        mirror must converge to.  Rebuild source for
+        :class:`~repro.controlplane.bridge.RipJournalBridge`.
+        """
+        homing: dict[str, tuple[str, str, str, float]] = {}
+        for name in sorted(self.switches):
+            switch = self.switches[name]
+            for vip in switch.vips():
+                entry = switch.entry(vip)
+                for rip in sorted(entry.rips):
+                    homing[rip] = (entry.app, vip, name, float(entry.rips[rip]))
+        return homing
+
     # -- fault awareness ----------------------------------------------------
     def mark_failed(self, switch_name: str) -> None:
         """Exclude a switch from every selection until it recovers."""

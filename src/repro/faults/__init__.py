@@ -9,13 +9,21 @@ during the blackout, and reconfiguration retries.
 """
 
 from repro.faults.injector import FaultInjector
+from repro.faults.mega import MegaFaultInjector
 from repro.faults.metrics import RecoveryMonitor
-from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+from repro.faults.schedule import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    UnknownFaultTarget,
+)
 
 __all__ = [
     "FaultEvent",
     "FaultInjector",
     "FaultKind",
     "FaultSchedule",
+    "MegaFaultInjector",
     "RecoveryMonitor",
+    "UnknownFaultTarget",
 ]

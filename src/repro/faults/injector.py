@@ -30,6 +30,13 @@ class FaultInjector:
     ):
         self.dc = dc
         self.schedule = schedule
+        # Fail fast on targets this facade cannot resolve — the handlers
+        # historically no-oped on a missing name, which let typo'd (or
+        # single-representation) scenarios run green while injecting
+        # nothing.  Facades without a target inventory skip the check.
+        fault_targets = getattr(dc, "fault_targets", None)
+        if fault_targets is not None:
+            schedule.validate_targets(fault_targets())
         self.monitor = monitor if monitor is not None else RecoveryMonitor()
         # The epoch loop feeds black-holed demand into the same monitor.
         dc.recovery_monitor = self.monitor

@@ -37,6 +37,12 @@ class FaultKind(str, enum.Enum):
     #: lets the gossip rounds converge the divergence away.
     SHARD_PARTITION = "shard_partition"
     SHARD_HEAL = "shard_heal"
+    #: An entire pod goes dark at mega scale: every VM it hosted is lost
+    #: and its share of demand spills to the surviving pods covering the
+    #: same apps (K3 across columnar shards).  Restore brings the pod
+    #: back empty; the next epoch re-places into it.
+    POD_LOSS = "pod_loss"
+    POD_RESTORE = "pod_restore"
 
     @property
     def is_failure(self) -> bool:
@@ -46,6 +52,7 @@ class FaultKind(str, enum.Enum):
             FaultKind.LINK_DOWN,
             FaultKind.MANAGER_CRASH,
             FaultKind.SHARD_PARTITION,
+            FaultKind.POD_LOSS,
         )
 
     @property
@@ -65,7 +72,19 @@ _RECOVERY_OF = {
     FaultKind.LINK_DOWN: FaultKind.LINK_UP,
     FaultKind.MANAGER_CRASH: FaultKind.MANAGER_RECOVER,
     FaultKind.SHARD_PARTITION: FaultKind.SHARD_HEAL,
+    FaultKind.POD_LOSS: FaultKind.POD_RESTORE,
 }
+
+
+class UnknownFaultTarget(LookupError):
+    """A schedule names a target the platform cannot resolve.
+
+    Historically the facade handlers silently succeeded on a missing
+    target (``crash_server("no-such-server")`` was a no-op), which let a
+    typo'd scenario — or a target existing in only one of the object /
+    columnar representations — run green while injecting nothing.
+    :meth:`FaultSchedule.validate_targets` turns that into a hard error.
+    """
 
 
 @dataclass(frozen=True, order=True)
@@ -108,6 +127,33 @@ class FaultSchedule:
                     )
                 down.discard(key)
 
+    def validate_targets(self, known: dict[str, Iterable[str]]) -> None:
+        """Reject events whose target the platform cannot resolve.
+
+        *known* maps a fault class (``server`` / ``switch`` / ``link`` /
+        ``manager`` / ``shard`` / ``pod``) to the valid target names of
+        that class — the output of ``fault_targets()`` on the facade or
+        the mega driver.  Classes absent from *known* are not injectable
+        there at all, so naming one is an error too.  Raises
+        :class:`UnknownFaultTarget` naming every bad event; a platform
+        that cannot resolve a target must fail the schedule up front
+        instead of silently no-oping at injection time.
+        """
+        sets = {cls_: frozenset(targets) for cls_, targets in known.items()}
+        bad = [
+            ev
+            for ev in self.events
+            if ev.target not in sets.get(ev.kind.fault_class, frozenset())
+        ]
+        if bad:
+            shown = ", ".join(
+                f"{ev.kind.value}({ev.target!r}) at t={ev.t}" for ev in bad[:5]
+            )
+            more = f" (+{len(bad) - 5} more)" if len(bad) > 5 else ""
+            raise UnknownFaultTarget(
+                f"{len(bad)} fault event(s) name unknown targets: {shown}{more}"
+            )
+
     @classmethod
     def from_events(
         cls, events: Sequence[tuple[float, str, str]]
@@ -123,6 +169,7 @@ class FaultSchedule:
         servers: Sequence[str] = (),
         switches: Sequence[str] = (),
         links: Sequence[str] = (),
+        pods: Sequence[str] = (),
         mtbf_s: float = 1800.0,
         mttr_s: float = 300.0,
     ) -> "FaultSchedule":
@@ -143,6 +190,7 @@ class FaultSchedule:
             (FaultKind.SERVER_CRASH, servers),
             (FaultKind.SWITCH_FAIL, switches),
             (FaultKind.LINK_DOWN, links),
+            (FaultKind.POD_LOSS, pods),
         )
         for fail_kind, targets in groups:
             for target in targets:

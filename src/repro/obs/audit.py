@@ -73,8 +73,13 @@ class InvariantAuditor:
         accumulating.
     """
 
-    def __init__(self, dc=None, strict: bool = False):
+    def __init__(self, dc=None, strict: bool = False, columnar=None):
         self.dc = dc
+        #: Optional :class:`~repro.core.mega.MegaScaleDriver` under audit;
+        #: epoch-end sweeps then check the columnar structural invariants
+        #: (CSR well-formedness, memory headroom, alive-cover accounting,
+        #: RIP-mirror row validity) with or without an object-model dc.
+        self.columnar = columnar
         self.strict = strict
         self.violations: list[Violation] = []
         self.events_seen = 0
@@ -147,17 +152,71 @@ class InvariantAuditor:
 
     # -- structural sweep ---------------------------------------------------
     def audit_now(self, t: float) -> list[Violation]:
-        """Run the full structural sweep against the live datacenter.
-        Returns violations found by *this* sweep."""
-        if self.dc is None:
+        """Run the full structural sweep against the live datacenter
+        and/or the columnar mega driver.  Returns violations found by
+        *this* sweep."""
+        if self.dc is None and self.columnar is None:
             return []
         self.audits_run += 1
         found_from = len(self.violations)
-        self._audit_tables(t)
-        self._audit_routes(t)
-        self._audit_rip_pods(t)
-        self._audit_caps(t)
+        if self.dc is not None:
+            self._audit_tables(t)
+            self._audit_routes(t)
+            self._audit_rip_pods(t)
+            self._audit_caps(t)
+        if self.columnar is not None:
+            self._audit_columnar(t)
         return self.violations[found_from:]
+
+    def _audit_columnar(self, t: float) -> None:
+        """Structural invariants of the columnar mega loop.
+
+        * ``mega-csr`` — every pod's CSR placement is well-formed and its
+          load vector matches the entry count;
+        * ``mega-mem`` — no server's memory is overcommitted;
+        * ``mega-cover`` — the per-app alive-cover accounting matches the
+          pod liveness mask (the K3 spill denominators);
+        * ``mega-rip-row`` — every active RIP-mirror row resolves to
+          known app/vip/switch ids.
+        """
+        import numpy as np
+
+        driver = self.columnar
+        for pod in driver.pods:
+            p = pod.placement
+            n_servers = pod.servers.cpu.shape[0]
+            if (
+                p.indptr.shape[0] != n_servers + 1
+                or pod.load.shape[0] != p.nnz
+                or (np.diff(p.indptr) < 0).any()
+            ):
+                self._flag(
+                    t, "mega-csr", pod=pod.pod,
+                    servers=n_servers, nnz=int(p.nnz),
+                    load_len=int(pod.load.shape[0]),
+                )
+            if (pod.mem_headroom() < -_EPS).any():
+                self._flag(t, "mega-mem", pod=pod.pod)
+        cover = getattr(driver, "_app_alive_cover", None)
+        if cover is not None:
+            expected = np.zeros_like(cover)
+            for p in range(driver.config.n_pods):
+                if driver.pod_alive[p]:
+                    expected[driver._pod_app_gids(p)] += 1
+            if not np.array_equal(cover, expected):
+                bad = int((cover != expected).sum())
+                self._flag(t, "mega-cover", apps_wrong=bad)
+        bridge = getattr(driver, "bridge", None)
+        if bridge is not None:
+            reg = bridge.registry
+            n = reg.n_rips
+            active = reg.rip_active[:n]
+            if (
+                (reg.rip_app[:n][active] < 0).any()
+                or (reg.rip_vip[:n][active] < 0).any()
+                or (reg.rip_switch[:n][active] < 0).any()
+            ):
+                self._flag(t, "mega-rip-row", active=int(active.sum()))
 
     def _audit_tables(self, t: float) -> None:
         """VIPs on ≤1 switch; each RIP in ≤1 (switch, VIP) entry.

@@ -147,6 +147,52 @@ class SparsePlacement:
         out[self.rows(), self.indices] = True
         return out
 
+    # -- row surgery (mega-scale fault paths) -------------------------
+    def drop_row(self, r: int) -> Tuple["SparsePlacement", np.ndarray]:
+        """Remove server row *r* entirely (the server left the pod).
+
+        Returns ``(placement, kept)`` where ``kept`` is the boolean mask
+        of surviving entries — apply it to any per-entry payload (loads)
+        to keep it aligned.  Rows above *r* shift down by one, mirroring
+        ``Pod.remove_server`` renumbering in the object model.
+        """
+        s, _a = self.shape
+        if not 0 <= r < s:
+            raise IndexError(f"row {r} out of range for {s} servers")
+        lo, hi = int(self.indptr[r]), int(self.indptr[r + 1])
+        kept = np.ones(self.nnz, dtype=bool)
+        kept[lo:hi] = False
+        indptr = np.concatenate(
+            [self.indptr[: r + 1], self.indptr[r + 2 :] - (hi - lo)]
+        )
+        return (
+            SparsePlacement(
+                (s - 1, self.shape[1]), indptr, self.indices[kept], check=False
+            ),
+            kept,
+        )
+
+    def insert_empty_row(self, r: int) -> "SparsePlacement":
+        """Insert an empty server row at index *r* (a server rejoined);
+        entry payloads stay aligned since no entry is added."""
+        s, _a = self.shape
+        if not 0 <= r <= s:
+            raise IndexError(f"insert position {r} out of range")
+        indptr = np.insert(self.indptr, r, self.indptr[r])
+        return SparsePlacement(
+            (s + 1, self.shape[1]), indptr, self.indices, check=False
+        )
+
+    @classmethod
+    def empty(cls, shape: Tuple[int, int]) -> "SparsePlacement":
+        """An all-False placement (every VM of the pod is gone)."""
+        return cls(
+            shape,
+            np.zeros(shape[0] + 1, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            check=False,
+        )
+
     def equals(self, other: "SparsePlacement") -> bool:
         return (
             self.shape == other.shape
@@ -382,10 +428,15 @@ class SparseGreedyController:
             # this round resolves to a different server next round.
             srv = open_srv[(np.arange(needy.size) + rnd) % open_srv.size]
             key = srv * np.int64(a_count) + needy
-            pos = np.searchsorted(key_sorted, key)
-            exists = (pos < key_sorted.size) & (
-                key_sorted[np.minimum(pos, key_sorted.size - 1)] == key
-            )
+            if key_sorted.size:
+                pos = np.searchsorted(key_sorted, key)
+                exists = (pos < key_sorted.size) & (
+                    key_sorted[np.minimum(pos, key_sorted.size - 1)] == key
+                )
+            else:
+                # A freshly restored pod starts with zero placements —
+                # nothing can collide.
+                exists = np.zeros(key.shape, dtype=bool)
             srv, apps = srv[~exists], needy[~exists]
             if srv.size == 0:
                 continue

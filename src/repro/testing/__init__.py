@@ -1,0 +1,15 @@
+"""Reusable test oracles (differential harnesses, twin builders)."""
+
+from repro.testing.differential import (
+    DifferentialResult,
+    DivergenceError,
+    ObjectTwin,
+    run_differential,
+)
+
+__all__ = [
+    "DifferentialResult",
+    "DivergenceError",
+    "ObjectTwin",
+    "run_differential",
+]

@@ -1,0 +1,185 @@
+"""The journal->columnar RIP bridge: sync, pending, truncation, repair.
+
+The bridge is the tentpole's seam: the sharded control plane stays the
+authority, and :class:`RipJournalBridge` keeps the columnar mirror fresh
+from the shard journals.  These tests pin the four protocol legs —
+incremental tail consumption, in-flight records parked until settled,
+the truncation-gap full rebuild, and fingerprint verify/repair after
+un-journaled anti-entropy mutations.
+"""
+
+import pytest
+
+from repro.controlplane import (
+    CheckpointStore,
+    RipJournalBridge,
+    WriteAheadJournal,
+)
+from repro.controlplane.sharding import ShardedControlPlane
+from repro.core.viprip import VipRipManager, VipRipRequest
+from repro.lbswitch.addresses import PUBLIC_VIP_POOL
+from repro.lbswitch.switch import LBSwitch, SwitchLimits
+from repro.sim import Environment
+
+APPS = [f"app-{i}" for i in range(6)]
+
+
+def pod_of(rip):
+    _, sep, pod = rip.partition("@")
+    return pod if sep else None
+
+
+def build_plane(n_shards=2, switches_per_shard=2):
+    env = Environment()
+    switches = [
+        LBSwitch(f"lb-{i}", env, SwitchLimits(max_vips=16, max_rips=64))
+        for i in range(n_shards * switches_per_shard)
+    ]
+    plane = ShardedControlPlane(
+        env, switches, PUBLIC_VIP_POOL(1000), n_shards, reconfig_s=1.0
+    )
+    return env, plane
+
+
+def seed(env, plane, apps=APPS):
+    for app in apps:
+        plane.submit(VipRipRequest("new_vip", app))
+    env.run()
+    for app in apps:
+        for k in range(2):
+            plane.submit(VipRipRequest("new_rip", app, rip=f"{app}@pod-{k}"))
+    env.run()
+
+
+def mirror_matches_authority(bridge):
+    authority = bridge.plane.rip_homing()
+    if bridge.registry.n_active != len(authority):
+        return False
+    for rip, (app, vip, switch, weight) in authority.items():
+        if bridge.registry.homing(rip) != (app, vip, switch, pod_of(rip), weight):
+            return False
+    return True
+
+
+# -- incremental sync -------------------------------------------------------
+def test_incremental_sync_matches_authority():
+    env, plane = build_plane()
+    seed(env, plane)
+    bridge = RipJournalBridge(plane, pod_of=pod_of)
+    stats = bridge.sync()
+    assert stats["applied"] > 0 and not stats["rebuilt"]
+    assert bridge.verify()
+    assert mirror_matches_authority(bridge)
+    # A quiet second sync consumes nothing and changes nothing.
+    again = bridge.sync()
+    assert again["applied"] == 0 and again["fingerprint"] == stats["fingerprint"]
+
+
+def test_sync_tracks_mutations_incrementally():
+    env, plane = build_plane()
+    seed(env, plane)
+    bridge = RipJournalBridge(plane, pod_of=pod_of)
+    bridge.sync()
+    plane.submit(VipRipRequest("del_rip", APPS[0], rip=f"{APPS[0]}@pod-0"))
+    plane.submit(VipRipRequest("set_weight", APPS[1], rip=f"{APPS[1]}@pod-1", weight=2.5))
+    plane.submit(VipRipRequest("new_rip", APPS[2], rip=f"{APPS[2]}@pod-9"))
+    env.run()
+    stats = bridge.sync()
+    assert stats["applied"] >= 3 and not stats["rebuilt"]
+    assert bridge.registry.homing(f"{APPS[0]}@pod-0") is None
+    assert bridge.registry.homing(f"{APPS[1]}@pod-1")[4] == 2.5
+    assert bridge.registry.homing(f"{APPS[2]}@pod-9")[3] == "pod-9"
+    assert bridge.verify()
+    assert bridge.rebuilds == 0
+
+
+# -- pending records --------------------------------------------------------
+def test_inflight_records_park_until_settled():
+    env, plane = build_plane()
+    seed(env, plane)
+    bridge = RipJournalBridge(plane, pod_of=pod_of)
+    bridge.sync()
+    plane.submit(VipRipRequest("del_rip", APPS[0], rip=f"{APPS[0]}@pod-0"))
+    env.run(until=env.now + 0.5)  # reconfig_s=1.0: journaled, unsettled
+    stats = bridge.sync()
+    assert stats["pending"] >= 1
+    # The unsettled delete must not have touched the mirror.
+    assert bridge.registry.homing(f"{APPS[0]}@pod-0") is not None
+    env.run()
+    stats = bridge.sync()
+    assert stats["pending"] == 0 and stats["applied"] >= 1
+    assert bridge.registry.homing(f"{APPS[0]}@pod-0") is None
+    assert bridge.verify()
+
+
+# -- truncation gap ---------------------------------------------------------
+def test_checkpoint_truncation_gap_forces_rebuild():
+    env, plane = build_plane()
+    seed(env, plane)
+    for shard in plane.shards:
+        shard.manager.take_checkpoint()
+    # A bridge fenced before those checkpoints cannot trust the tail.
+    bridge = RipJournalBridge(plane, pod_of=pod_of)
+    stats = bridge.sync()
+    assert stats["rebuilt"] and bridge.rebuilds == 1
+    assert bridge.verify()
+    assert mirror_matches_authority(bridge)
+    # Post-rebuild cursors are re-fenced: new work flows incrementally.
+    plane.submit(VipRipRequest("new_rip", APPS[3], rip=f"{APPS[3]}@pod-7"))
+    env.run()
+    stats = bridge.sync()
+    assert stats["applied"] == 1 and not stats["rebuilt"]
+    assert bridge.registry.homing(f"{APPS[3]}@pod-7") is not None
+
+
+# -- verify / repair --------------------------------------------------------
+def test_verify_repairs_unjournaled_mutation():
+    env, plane = build_plane()
+    seed(env, plane)
+    bridge = RipJournalBridge(plane, pod_of=pod_of)
+    bridge.sync()
+    assert bridge.verify()
+    # Simulate an anti-entropy repair: mutate a switch table directly,
+    # bypassing the journal (exactly what _local_repair does).
+    rip = f"{APPS[0]}@pod-0"
+    _app, vip, switch_name, _weight = plane.rip_homing()[rip]
+    owner = next(
+        s for s in plane.shards if switch_name in s.manager.switches
+    )
+    owner.manager.switches[switch_name].remove_rip(vip, rip)
+    assert not bridge.verify()
+    assert not bridge.verify(repair=True)  # reports divergence, swaps in shadow
+    assert bridge.verify()
+    assert mirror_matches_authority(bridge)
+
+
+# -- bare manager sources ---------------------------------------------------
+def test_bare_manager_bridge():
+    env = Environment()
+    switches = [
+        LBSwitch(f"lb-{i}", env, SwitchLimits(max_vips=16, max_rips=64))
+        for i in range(2)
+    ]
+    mgr = VipRipManager(
+        env,
+        switches,
+        PUBLIC_VIP_POOL(1000),
+        reconfig_s=1.0,
+        journal=WriteAheadJournal(),
+        checkpoints=CheckpointStore(),
+    )
+    mgr.submit(VipRipRequest("new_vip", "app-0"))
+    mgr.submit(VipRipRequest("new_rip", "app-0", rip="app-0@pod-3"))
+    env.run()
+    bridge = RipJournalBridge(mgr, pod_of=pod_of)
+    bridge.sync()
+    assert bridge.registry.homing("app-0@pod-3") is not None
+    assert bridge.verify()
+
+
+def test_bridge_requires_a_journal():
+    env = Environment()
+    switches = [LBSwitch("lb-0", env, SwitchLimits(max_vips=4, max_rips=8))]
+    mgr = VipRipManager(env, switches, PUBLIC_VIP_POOL(100))
+    with pytest.raises(ValueError, match="journaling"):
+        RipJournalBridge(mgr)

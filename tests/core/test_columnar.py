@@ -155,3 +155,152 @@ def test_post_init_validation():
             placement=sp,
             load=np.ones(5),  # wrong entry count
         )
+
+
+# -- fault row surgery ------------------------------------------------------
+def test_clear_placement_loses_all_vms_keeps_capacity():
+    state = make_state([[1, 0], [0, 1]], load=[2.0, 3.0])
+    assert state.clear_placement() == 2
+    assert state.n_vms == 0 and state.load.size == 0
+    assert state.placement.shape == (2, 2)
+    assert state.servers.cpu.shape == (2,)
+    assert state.clear_placement() == 0  # idempotent
+
+
+def test_remove_server_drops_row_and_load():
+    state = make_state([[1, 1], [0, 1], [1, 0]], load=[1.0, 2.0, 3.0, 4.0])
+    lost = state.remove_server(1)
+    assert lost == 1
+    assert state.placement.shape == (2, 2)
+    assert state.servers.name(0) == "s000000"
+    assert state.servers.name(1) == "s000002"
+    assert np.array_equal(state.load, [1.0, 2.0, 4.0])
+    assert (state.mem_headroom() >= 0).all()
+
+
+def test_insert_server_restores_sorted_position():
+    state = make_state([[1, 0], [0, 1], [1, 1]])
+    cpu, mem = float(state.servers.cpu[1]), float(state.servers.mem_gb[1])
+    state.remove_server(1)
+    state.insert_server(1, cpu, mem)
+    assert state.placement.shape[0] == 3
+    assert [state.servers.name(i) for i in range(3)] == [
+        "s000000", "s000001", "s000002",
+    ]
+    assert state.servers.row_of(1) == 1
+    # The restored row is empty.
+    assert state.placement.indptr[2] - state.placement.indptr[1] == 0
+    with pytest.raises(ValueError):
+        state.insert_server(1, cpu, mem)  # already present
+
+
+def test_remove_unknown_server_raises():
+    state = make_state([[1]])
+    with pytest.raises(KeyError):
+        state.remove_server(7)
+
+
+# -- the columnar RIP registry ---------------------------------------------
+def make_registry():
+    from repro.core import ColumnarRipRegistry
+
+    reg = ColumnarRipRegistry()
+    for app, pod in (("a", "pod-0"), ("a", "pod-1"), ("b", "pod-0")):
+        reg.wire(f"{app}@{pod}", app, f"vip-{app}", "lb-0", pod)
+    return reg
+
+
+def test_registry_wire_and_homing():
+    reg = make_registry()
+    assert reg.n_active == 3
+    assert reg.homing("a@pod-1") == ("a", "vip-a", "lb-0", "pod-1", 1.0)
+    assert reg.rips_of_app("a") == ["a@pod-0", "a@pod-1"]
+    assert reg.pods_of_app("b") == ["pod-0"]
+
+
+def test_registry_ids_stable_across_rewire():
+    reg = make_registry()
+    rid = reg.rips.get("a@pod-0")
+    n = reg.n_rips
+    assert reg.unwire("a@pod-0")
+    assert reg.n_active == 2
+    assert reg.homing("a@pod-0") is None
+    # Re-wiring reuses the same row: ids are stable, no growth.
+    assert reg.wire("a@pod-0", "a", "vip-a", "lb-1", "pod-0", 0.5) == rid
+    assert reg.n_rips == n
+    assert reg.homing("a@pod-0") == ("a", "vip-a", "lb-1", "pod-0", 0.5)
+
+
+def test_registry_switch_guard():
+    reg = make_registry()
+    # A stale op naming the wrong home switch must not apply.
+    assert not reg.unwire("a@pod-0", switch="lb-9")
+    assert reg.homing("a@pod-0") is not None
+    assert not reg.reweigh("a@pod-0", "lb-9", 3.0)
+    assert reg.homing("a@pod-0")[4] == 1.0
+    assert reg.rehome_vip("vip-a", "lb-9", "lb-2") == 0
+    assert reg.rehome_vip("vip-a", "lb-0", "lb-2") == 2
+    assert reg.homing("a@pod-1")[2] == "lb-2"
+
+
+def test_registry_deactivate_vip_bulk():
+    reg = make_registry()
+    assert reg.deactivate_vip("vip-a") == 2
+    assert reg.n_active == 1
+    assert reg.rips_of_app("a") == []
+
+
+def test_registry_csr_groups_by_app():
+    reg = make_registry()
+    indptr, rip_ids = reg.csr()
+    a, b = reg.apps.get("a"), reg.apps.get("b")
+    assert indptr[a + 1] - indptr[a] == 2
+    assert indptr[b + 1] - indptr[b] == 1
+    assert rip_ids.size == 3
+
+
+def test_registry_fingerprint_is_name_canonical():
+    from repro.core import ColumnarRipRegistry
+
+    reg = make_registry()
+    # Same homing built in a different insertion order: ids differ but
+    # the name-canonical fingerprint agrees.
+    other = ColumnarRipRegistry()
+    for app, pod in (("b", "pod-0"), ("a", "pod-1"), ("a", "pod-0")):
+        other.wire(f"{app}@{pod}", app, f"vip-{app}", "lb-0", pod)
+    assert reg.fingerprint() == other.fingerprint()
+    other.reweigh("b@pod-0", "lb-0", 2.0)
+    assert reg.fingerprint() != other.fingerprint()
+
+
+def test_registry_from_authority_round_trip():
+    from repro.core import ColumnarRipRegistry
+
+    reg = make_registry()
+    reg.unwire("b@pod-0")
+    homing = {
+        rip: reg.homing(rip)[:3] + (reg.homing(rip)[4],)
+        for rip in ("a@pod-0", "a@pod-1")
+    }
+    rebuilt = ColumnarRipRegistry.from_authority(
+        homing, lambda rip: rip.partition("@")[2] or None
+    )
+    assert rebuilt.fingerprint() == reg.fingerprint()
+    assert rebuilt.snapshot() == reg.snapshot()
+
+
+def test_sparse_row_surgery_primitives():
+    sp = SparsePlacement.from_dense(
+        np.array([[1, 0, 1], [0, 1, 0], [1, 1, 1]], dtype=bool)
+    )
+    dropped, kept = sp.drop_row(1)
+    assert dropped.shape == (2, 3)
+    assert np.array_equal(kept, [True, True, False, True, True, True])
+    grown = dropped.insert_empty_row(1)
+    assert grown.shape == (3, 3)
+    assert np.array_equal(
+        grown.to_dense(),
+        np.array([[1, 0, 1], [0, 0, 0], [1, 1, 1]], dtype=bool),
+    )
+    empty = SparsePlacement.empty((2, 4))
+    assert empty.shape == (2, 4) and empty.nnz == 0

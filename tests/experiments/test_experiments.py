@@ -226,3 +226,35 @@ def test_e10_dynamic_scenario():
     assert link_u < 1.0 and pod_u < 1.0
     # capacity-proportional optimum: 8 / 12
     assert pod_u == pytest.approx(8.0 / 12.0, abs=0.05)
+
+
+def test_e18_fault_cycle_quick():
+    """The scripted fail/repair cycle at quick scale: every fault is
+    absorbed by the next epoch (MTTR = one epoch interval), the fleet
+    fully recovers, and the columnar RIP mirror survives the churn."""
+    from repro.experiments import e18_mega_faults as e18
+
+    result = e18.run(epochs=6)
+    assert result.faults_injected == 12
+    assert result.recovered and result.satisfied_ok
+    assert result.auditor_ok and result.rip_verified
+    assert result.mttr_pod_s == pytest.approx(result.config.epoch_s)
+    assert result.mttr_server_s == pytest.approx(result.config.epoch_s)
+    assert result.rip_records_total > 0
+    assert result.rows[1].pods_down == 2
+    assert result.rows[-1].pods_down == 0
+    # Spread pod losses never black-hole demand at cover=20.
+    assert result.dropped_gb == 0.0
+    text = result.table().render()
+    assert "MTTR" in text and "verified" in text
+
+
+def test_e18_schedule_rejects_bad_fault_counts():
+    from repro.core.mega import MegaConfig
+    from repro.experiments import e18_mega_faults as e18
+
+    cfg = MegaConfig.quick()
+    with pytest.raises(ValueError, match="alive"):
+        e18.default_schedule(cfg, pod_faults=cfg.n_pods)
+    with pytest.raises(ValueError, match="servers_per_pod"):
+        e18.default_schedule(cfg, server_faults=cfg.servers_per_pod + 1)

@@ -173,3 +173,89 @@ def test_double_manager_crash_rejected():
                 (20.0, "manager_crash", "viprip"),
             ]
         )
+
+
+# -- mega pod kinds ---------------------------------------------------------
+def test_pod_loss_is_a_failure_with_pod_class():
+    assert FaultKind.POD_LOSS.is_failure
+    assert not FaultKind.POD_RESTORE.is_failure
+    assert FaultKind.POD_LOSS.fault_class == "pod"
+    assert FaultKind.POD_LOSS.recovery is FaultKind.POD_RESTORE
+
+
+def test_pod_cycle_validates_and_random_accepts_pods():
+    FaultSchedule(
+        [
+            FaultEvent(1.0, FaultKind.POD_LOSS, "pod-000"),
+            FaultEvent(2.0, FaultKind.POD_RESTORE, "pod-000"),
+            FaultEvent(3.0, FaultKind.POD_LOSS, "pod-000"),
+        ]
+    )
+    sched = FaultSchedule.random(
+        7, 10_000.0, pods=["pod-000", "pod-001"], mtbf_s=500.0, mttr_s=100.0
+    )
+    kinds = {ev.kind for ev in sched.events}
+    assert kinds <= {FaultKind.POD_LOSS, FaultKind.POD_RESTORE}
+    assert len(sched.events) > 0
+
+
+# -- target validation ------------------------------------------------------
+def test_validate_targets_accepts_known_names():
+    from repro.faults import UnknownFaultTarget
+
+    sched = FaultSchedule(
+        [
+            FaultEvent(1.0, FaultKind.SERVER_CRASH, "s0"),
+            FaultEvent(2.0, FaultKind.POD_LOSS, "pod-000"),
+        ]
+    )
+    sched.validate_targets({"server": {"s0", "s1"}, "pod": {"pod-000"}})
+    with pytest.raises(UnknownFaultTarget, match="s0"):
+        sched.validate_targets({"server": {"s9"}, "pod": {"pod-000"}})
+
+
+def test_validate_targets_rejects_uninjectable_class():
+    """A class absent from the inventory is not injectable there at all —
+    naming it is an error, not a silent no-op."""
+    from repro.faults import UnknownFaultTarget
+
+    sched = FaultSchedule([FaultEvent(1.0, FaultKind.POD_LOSS, "pod-000")])
+    with pytest.raises(UnknownFaultTarget, match="pod_loss"):
+        sched.validate_targets({"server": {"s0"}})
+
+
+def test_validate_targets_reports_at_most_five_and_counts_rest():
+    from repro.faults import UnknownFaultTarget
+
+    sched = FaultSchedule(
+        [
+            FaultEvent(float(i), FaultKind.SERVER_CRASH, f"ghost-{i}")
+            for i in range(8)
+        ]
+    )
+    with pytest.raises(UnknownFaultTarget, match=r"\(\+3 more\)"):
+        sched.validate_targets({"server": {"real"}})
+
+
+def test_injector_validates_against_facade_inventory():
+    """FaultInjector refuses a schedule naming targets the facade cannot
+    resolve (the historical silent-no-op bug)."""
+    from repro.faults import FaultInjector, UnknownFaultTarget
+    from repro.sim import Environment
+
+    class FakeDC:
+        def __init__(self):
+            self.env = Environment()
+
+        def fault_targets(self):
+            return {"server": {"srv-0"}}
+
+    dc = FakeDC()
+    FaultInjector(
+        dc, FaultSchedule([FaultEvent(1.0, FaultKind.SERVER_CRASH, "srv-0")])
+    )
+    with pytest.raises(UnknownFaultTarget):
+        FaultInjector(
+            dc,
+            FaultSchedule([FaultEvent(1.0, FaultKind.SERVER_CRASH, "typo")]),
+        )

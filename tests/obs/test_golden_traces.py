@@ -55,6 +55,37 @@ def run_e15(workers: int = 1) -> str:
     return trace_digest(workers, n_pods=4, pod_size=20, epochs=3, seed=0)
 
 
+def run_mega(parallelism: int = 1) -> str:
+    from repro.core.mega import (
+        MegaConfig,
+        MegaControlPlaneConfig,
+        MegaScaleDriver,
+    )
+    from repro.faults.mega import MegaFaultInjector
+    from repro.faults.schedule import FaultSchedule
+    from repro.obs.audit import InvariantAuditor
+
+    trace = TraceBus(keep_events=False)
+    cfg = MegaConfig.tiny(seed=3, parallelism=parallelism)
+    with MegaScaleDriver(
+        cfg, trace=trace,
+        control_plane=MegaControlPlaneConfig(wired_apps=8),
+    ) as driver:
+        InvariantAuditor(columnar=driver, strict=True).attach(trace)
+        schedule = FaultSchedule.from_events(
+            [
+                (60.0, "pod_loss", "pod-001"),
+                (120.0, "server_crash", "pod-000-s000003"),
+                (180.0, "pod_restore", "pod-001"),
+                (240.0, "server_recover", "pod-000-s000003"),
+            ]
+        )
+        MegaFaultInjector(driver, schedule)
+        for _ in range(6):
+            driver.run_epoch()
+    return trace.digest
+
+
 def test_e01_golden_digest_serial_and_parallel():
     serial = run_e01(parallelism=1)
     parallel = run_e01(parallelism=2)
@@ -68,6 +99,16 @@ def test_e05_golden_digest():
 
 def test_e14_golden_digest():
     assert run_e14() == GOLDEN["e14_ckpt240_seed42"]
+
+
+def test_mega_fault_loop_golden_digest_serial_and_parallel():
+    """The unified mega epoch loop — columnar pods, sharded control
+    plane, streaming demand, fault injection — must trace byte-identically
+    at every engine parallelism, and match the committed digest."""
+    serial = run_mega(parallelism=1)
+    parallel = run_mega(parallelism=2)
+    assert serial == parallel, "mega loop diverged across parallelism"
+    assert serial == GOLDEN["e18_mega_faults_seed3"]
 
 
 def test_e15_golden_digest_across_parallelism():
@@ -85,6 +126,7 @@ if __name__ == "__main__":  # regenerate the goldens
         "e05_balance_seed0": run_e05(),
         "e14_ckpt240_seed42": run_e14(),
         "e15_pods4_seed0": run_e15(),
+        "e18_mega_faults_seed3": run_mega(),
     }
     GOLDEN_PATH.write_text(json.dumps(fresh, indent=2, sort_keys=True) + "\n")
     print(json.dumps(fresh, indent=2, sort_keys=True))

@@ -222,6 +222,39 @@ def test_run_suite_records_peak_rss(tiny_fixtures):
         assert metrics["peak_rss_mb"] > 0
 
 
+def test_cmd_mega_faults_lane_merges_and_gates(tmp_path):
+    """``repro mega --faults`` adds the E18 fault-lane workload next to
+    the fault-free entry and gates recovery, MTTR and the mirror CRC."""
+    out = io.StringIO()
+    rc = bench.cmd_mega(
+        quick=True,
+        out_dir=str(tmp_path),
+        workers=1,
+        epochs=2,
+        baseline=None,
+        max_regression=2.0,
+        max_rss_mb=8192.0,
+        faults=True,
+        out=out,
+    )
+    assert rc == 0
+    payload = json.loads((tmp_path / bench.MEGA_FILE).read_text())
+    wids = sorted(payload["workloads"])
+    assert any(w.startswith("mega[") for w in wids)
+    fwid = next(w for w in wids if w.startswith("mega_faults["))
+    metrics = payload["workloads"][fwid]
+    assert metrics["faults_injected"] == 12
+    assert metrics["recovered"] is True
+    assert metrics["auditor_ok"] is True
+    assert metrics["rip_mirror_verified"] is True
+    assert metrics["mttr_pod_s"] == pytest.approx(60.0)
+    assert metrics["mttr_server_s"] == pytest.approx(60.0)
+    assert metrics["satisfied_fraction_min"] >= 0.98
+    assert metrics["rip_records_total"] > 0
+    text = out.getvalue()
+    assert "mega_faults[" in text and "mega ok" in text
+
+
 @pytest.mark.slow
 def test_cmd_mega_quick_writes_json_and_gates(tmp_path):
     out = io.StringIO()

@@ -170,6 +170,25 @@ def test_bulk_path_deterministic_and_feasible():
     assert sols[0].satisfied().sum() >= 0.95 * base.app_cpu_demand.sum()
 
 
+def test_bulk_path_places_onto_empty_current():
+    """A freshly restored pod solves from a zero-VM current placement —
+    the membership probe must not index into the empty key table."""
+    base = make_instance(40, seed=3)
+    prob = PlacementProblem(
+        server_cpu=base.server_cpu,
+        server_mem=base.server_mem,
+        app_cpu_demand=base.app_cpu_demand,
+        app_mem=base.app_mem,
+        current=SparsePlacement.from_dense(
+            np.zeros((base.n_servers, base.n_apps), dtype=bool)
+        ),
+    )
+    sol = SparseGreedyController(dense_limit=1).solve(prob)
+    sol.validate(base)
+    assert sol.placement.indptr[-1] > 0
+    assert sol.satisfied().sum() >= 0.95 * base.app_cpu_demand.sum()
+
+
 def test_bulk_stop_idle_keeps_every_app_covered():
     base = make_instance(50, seed=13)
     sol = SparseGreedyController(dense_limit=1, stop_idle=True).solve(
