@@ -11,6 +11,7 @@ Usage::
     python -m repro controlplane --seed 42  # manager crash + journal replay
     python -m repro bench --quick           # pinned perf workloads -> BENCH_*.json
     python -m repro mega --quick            # bounded-memory paper-scale lane
+    python -m repro dataplane --quick       # columnar steering lane -> BENCH_dataplane.json
     python -m repro trace summary run.jsonl # per-kind counts + digest
     python -m repro trace diff a.jsonl b.jsonl  # first divergence, exit 1 if differ
 """
@@ -57,6 +58,13 @@ EXPERIMENTS: dict[str, tuple[str, str, dict, str]] = {
         {},
         "mega faults: pod losses + server crashes through the unified "
         "loop; MTTR, drop and RIP-mirror accounting",
+    ),
+    "e19": (
+        "e19_dataplane",
+        "run",
+        {},
+        "mega data plane: columnar request steering + K1/K2 knobs at "
+        "scale, raced against the object path",
     ),
     "a1": ("ablations", "run_pod_size", {}, "ablation: pod size"),
     "a2": ("ablations", "run_drain_ablation", {}, "ablation: K2 drain-first"),
@@ -386,6 +394,59 @@ def main(argv: list[str] | None = None) -> int:
         "adds a mega_faults workload entry gated on recovery, MTTR and "
         "the RIP-mirror CRC",
     )
+    dp_p = sub.add_parser(
+        "dataplane",
+        help="run the mega traffic data plane lane (E19); writes "
+        "BENCH_dataplane.json and gates throughput, the object-path "
+        "speedup and peak RSS",
+    )
+    dp_p.add_argument(
+        "--quick",
+        action="store_true",
+        help="1/10 scale with the object data plane racing the same "
+        "stream (the CI dataplane-smoke lane); default is 300k servers",
+    )
+    dp_p.add_argument(
+        "--epochs", type=int, default=4, help="steered epochs to run"
+    )
+    dp_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel engine width for the placement half of the loop",
+    )
+    dp_p.add_argument(
+        "--out",
+        default=".",
+        metavar="DIR",
+        help="where to write BENCH_dataplane.json",
+    )
+    dp_p.add_argument(
+        "--baseline",
+        metavar="DIR",
+        help="directory holding a baseline BENCH_dataplane.json to gate "
+        "against",
+    )
+    dp_p.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="fail if a guarded metric exceeds baseline x this ratio",
+    )
+    dp_p.add_argument(
+        "--max-rss-mb",
+        type=float,
+        default=8192.0,
+        help="fail if peak RSS exceeds this many MB (acceptance budget)",
+    )
+    dp_p.add_argument(
+        "--min-speedup",
+        type=float,
+        default=10.0,
+        metavar="X",
+        help="fail if the columnar path is not at least X times faster "
+        "than the object path (checked when the race runs, i.e. --quick)",
+    )
     trace_p = sub.add_parser(
         "trace", help="summarize or diff JSONL trace files"
     )
@@ -440,6 +501,19 @@ def main(argv: list[str] | None = None) -> int:
             max_regression=args.max_regression,
             max_rss_mb=args.max_rss_mb,
             faults=args.faults,
+        )
+    if args.command == "dataplane":
+        from repro.perf.bench import cmd_dataplane
+
+        return cmd_dataplane(
+            quick=args.quick,
+            out_dir=args.out,
+            workers=args.workers,
+            epochs=args.epochs,
+            baseline=args.baseline,
+            max_regression=args.max_regression,
+            max_rss_mb=args.max_rss_mb,
+            min_speedup=args.min_speedup,
         )
     if args.command == "trace":
         if args.trace_command == "summary":

@@ -60,6 +60,30 @@ class MegaControlPlaneConfig:
     reconfig_s: float = 1.0
     max_vips: int = 256
     max_rips: int = 16_384
+    #: VIPs each wired app exposes (>1 makes K1 re-steers meaningful:
+    #: DNS weight shifts then actually move traffic between switches).
+    vips_per_app: int = 1
+
+
+@dataclass
+class MegaSteeringConfig:
+    """Traffic data plane riding on the mega loop (requires a wired
+    control plane): every epoch the driver steers a seeded request stream
+    through the columnar data plane against the RIP mirror.
+    """
+
+    requests_per_epoch: int = 200_000
+    n_resolvers: int = 10_000
+    chunk_requests: int = 65_536
+    ttl_s: float = 120.0
+    violator_fraction: float = 0.1
+    violation_factor: float = 10.0
+    max_duration_epochs: int = 3
+    switch_max_connections: int = 1_000_000
+    #: Drive K1 (DNS re-steer) + K2 (VIP re-home when paused) every this
+    #: many epochs; 0 disables the automatic knob schedule.
+    knob_period: int = 0
+    seed: int = 1234
 
 
 @dataclass
@@ -161,6 +185,16 @@ class MegaEpochReport:
     rip_records: int = 0
     #: CRC fingerprint of the columnar RIP mirror after sync.
     rip_fingerprint: int = 0
+    # -- traffic data plane (0 unless steering is wired) ---------------
+    requests: int = 0
+    dns_hits: int = 0
+    dns_misses: int = 0
+    conns_opened: int = 0
+    conns_rejected: int = 0
+    conns_closed: int = 0
+    conns_dropped: int = 0
+    unserved: int = 0
+    steer_wall_s: float = 0.0
 
     @property
     def satisfied_fraction(self) -> float:
@@ -185,6 +219,7 @@ class MegaScaleDriver:
         config: MegaConfig,
         trace=None,
         control_plane: Optional[MegaControlPlaneConfig] = None,
+        steering: Optional[MegaSteeringConfig] = None,
     ):
         self.config = config
         self.trace = trace
@@ -225,6 +260,16 @@ class MegaScaleDriver:
         self._wired_gids: np.ndarray = np.zeros(0, dtype=np.int64)
         if control_plane is not None:
             self._init_control_plane(control_plane)
+        # -- traffic data plane ------------------------------------------
+        self.dataplane = None
+        self.request_stream = None
+        self._steer_config = None
+        #: Scripted knob actions per epoch (the differential harness and
+        #: experiments queue these; they run inside run_epoch after the
+        #: mirror sync, before steering).
+        self._knob_queue: dict[int, list[tuple]] = {}
+        if steering is not None:
+            self._init_dataplane(steering)
 
     # -- construction -------------------------------------------------
     def _pod_app_gids(self, p: int) -> np.ndarray:
@@ -325,7 +370,10 @@ class MegaScaleDriver:
         )
         self._VipRipRequest = VipRipRequest
         for gid in self._wired_gids:
-            self.control_plane.submit(VipRipRequest("new_vip", self._app_name(gid)))
+            for _ in range(max(1, cp.vips_per_app)):
+                self.control_plane.submit(
+                    VipRipRequest("new_vip", self._app_name(gid))
+                )
         self._cp_env.run()
         for gid in self._wired_gids:
             app = self._app_name(gid)
@@ -367,6 +415,134 @@ class MegaScaleDriver:
                 )
             )
         self._cp_env.run()
+
+    # -- traffic data plane --------------------------------------------
+    def _init_dataplane(self, sc: MegaSteeringConfig) -> None:
+        from repro.dataplane.steering import ColumnarDataPlane
+        from repro.workload.requests import RequestStream
+
+        if self.bridge is None:
+            raise ValueError(
+                "steering requires control_plane= to be configured"
+            )
+        self._steer_config = sc
+        # Request popularity follows the wired apps' t=0 demand: hot apps
+        # get hot VIPs, matching the paper's elastic-traffic framing.
+        app_weights = self.workload.cpu_demand(0.0)[self._wired_gids]
+        self.request_stream = RequestStream(
+            sc.n_resolvers,
+            app_weights,
+            sc.requests_per_epoch,
+            seed=sc.seed,
+            max_duration_epochs=sc.max_duration_epochs,
+            violator_fraction=sc.violator_fraction,
+        )
+        self.dataplane = ColumnarDataPlane(
+            self.bridge.registry,
+            [self._app_name(int(g)) for g in self._wired_gids],
+            self.request_stream,
+            ttl_s=sc.ttl_s,
+            violation_factor=sc.violation_factor,
+            switch_max_connections=sc.switch_max_connections,
+            chunk_requests=sc.chunk_requests,
+            trace=self.trace,
+        )
+
+    def dataplane_switches(self) -> dict:
+        """Live ``switch name -> LBSwitch`` across all shards (the object
+        twin steers against these same tables)."""
+        if self.control_plane is None:
+            return {}
+        return {
+            name: sw
+            for shard in self.control_plane.shards
+            for name, sw in shard.manager.switches.items()
+        }
+
+    def _emit_knob(self, knob: str, action: str, t: float, **detail) -> None:
+        if self.trace is not None and self.trace.enabled:
+            self.trace.emit("knob", t=t, knob=knob, action=action, **detail)
+
+    def k1_resteer(
+        self, app: str, weights: dict, t: float = 0.0
+    ) -> None:
+        """K1: shift the app's DNS VIP weights in the vectorized tables.
+        Clients converge over roughly one TTL (violators lag behind)."""
+        if self.dataplane is None:
+            raise RuntimeError("no data plane wired")
+        self.dataplane.k1_set_weights(app, weights)
+        self._emit_knob("K1", "resteer", t, app=app, vips=len(weights))
+
+    def k2_rehome(
+        self, app: str, vip: str, t: float = 0.0, force: bool = False
+    ) -> bool:
+        """K2: move a VIP to another switch — only during a pause (zero
+        live sessions, read off the columnar conn counters) unless
+        *force*, which first drops the VIP's sessions (service
+        disruption, quantified in the report's ``conns_dropped``)."""
+        if self.dataplane is None:
+            raise RuntimeError("no data plane wired")
+        dp = self.dataplane
+        dropped = 0
+        if not dp.is_paused(vip):
+            if not force:
+                self._emit_knob(
+                    "K2", "blocked", t, app=app, vip=vip,
+                    conns=dp.conn.count_for_vip(self.bridge.registry.vips.get(vip)),
+                )
+                return False
+            dropped = dp.drop_vip_conns(vip)
+        src = dp.switch_of_vip(vip)
+        self.control_plane.submit(
+            self._VipRipRequest("move_vip", app, vip=vip)
+        )
+        self._cp_env.run()
+        self.bridge.sync()
+        dp.refresh()
+        dst = dp.switch_of_vip(vip)
+        moved = dst is not None and dst != src
+        self._emit_knob(
+            "K2", "rehome", t, app=app, vip=vip, moved=moved,
+            dropped=dropped,
+        )
+        return moved
+
+    def queue_knob(self, epoch: int, action: tuple) -> None:
+        """Script a knob action for *epoch*: ``("k1", app, weights)``,
+        ``("k2", app, vip)`` or ``("k2", app, vip, True)`` (forced)."""
+        if action[0] not in ("k1", "k2"):
+            raise ValueError(f"unknown knob action {action[0]!r}")
+        self._knob_queue.setdefault(int(epoch), []).append(tuple(action))
+
+    def _drive_knobs(self, epoch: int, t: float) -> None:
+        """Scripted knob actions first, then the periodic schedule: every
+        ``knob_period`` epochs pick the next wired app round-robin,
+        re-steer its DNS weights (K1) and re-home its first paused VIP
+        (K2)."""
+        for act in self._knob_queue.pop(epoch, ()):
+            if act[0] == "k1":
+                self.k1_resteer(act[1], act[2], t=t)
+            else:
+                force = bool(act[3]) if len(act) > 3 else False
+                self.k2_rehome(act[1], act[2], t=t, force=force)
+        sc = self._steer_config
+        if (
+            sc is None
+            or not sc.knob_period
+            or epoch == 0
+            or epoch % sc.knob_period
+        ):
+            return
+        k = epoch // sc.knob_period
+        gid = int(self._wired_gids[k % self._wired_gids.size])
+        app = self._app_name(gid)
+        vips = sorted(self.dataplane.dns.zone(app))
+        weights = {v: 1.0 + ((k + i) % 3) for i, v in enumerate(vips)}
+        self.k1_resteer(app, weights, t=t)
+        for vip in vips:
+            if self.dataplane.is_paused(vip):
+                self.k2_rehome(app, vip, t=t)
+                break
 
     # -- fault surgery -------------------------------------------------
     def fault_targets(self) -> dict[str, set[str]]:
@@ -413,6 +589,9 @@ class MegaScaleDriver:
         self._cp_pod_event(name, up=False)
         if self.bridge is not None:
             self.bridge.sync()
+        if self.dataplane is not None:
+            # Sessions pinned to the dead pod's RIPs die with it.
+            self.dataplane.on_pod_loss(name)
         return lost
 
     def restore_pod(self, name: str, t: float = 0.0) -> None:
@@ -513,6 +692,9 @@ class MegaScaleDriver:
         t = epoch * cfg.epoch_s
         t0 = time.perf_counter()
         rip_before = self.bridge.records_applied if self.bridge is not None else 0
+        conns_dropped0 = (
+            self.dataplane.conn.dropped if self.dataplane is not None else 0
+        )
         if self.fault_injector is not None:
             self.fault_injector.advance(t)
         bytes_before = (
@@ -549,6 +731,10 @@ class MegaScaleDriver:
             sync = self.bridge.sync()
             rip_records = self.bridge.records_applied - rip_before
             rip_fp = sync["fingerprint"]
+        steer = None
+        if self.dataplane is not None:
+            self._drive_knobs(epoch, t)
+            steer = self.dataplane.steer_epoch(epoch, t)
         self.epochs_run += 1
         report = MegaEpochReport(
             epoch=epoch,
@@ -577,6 +763,16 @@ class MegaScaleDriver:
             rip_records=rip_records,
             rip_fingerprint=rip_fp,
         )
+        if steer is not None:
+            report.requests = steer.requests
+            report.dns_hits = steer.dns_hits
+            report.dns_misses = steer.dns_misses
+            report.conns_opened = steer.opened
+            report.conns_rejected = steer.rejected
+            report.conns_closed = steer.closed
+            report.conns_dropped = self.dataplane.conn.dropped - conns_dropped0
+            report.unserved = steer.unserved
+            report.steer_wall_s = steer.wall_s
         if self.fault_injector is not None:
             self.fault_injector.epoch_done(t, report)
         if self.trace is not None and self.trace.enabled:

@@ -1,0 +1,186 @@
+"""Vectorized weighted-DNS tables with columnar TTL caches.
+
+One :class:`VectorizedDnsTable` replaces an authority plus a whole
+resolver population on the hot path: per-app VIP weight vectors become
+per-app CDF segments (built through the shared
+:func:`repro.dns.policy.weighted_cdf`, so a batched ``searchsorted`` draw
+is bit-identical to the scalar ``AuthoritativeDNS.resolve``), and every
+resolver's TTL cache becomes one row of a ``(n_resolvers, n_apps)``
+expiry matrix instead of a per-resolver dict.
+
+Sequential-equivalence contract (what the differential harness proves):
+resolving a batch of requests must behave exactly as if each request were
+processed one at a time through an object resolver —
+
+* a request whose cache cell is fresh (``now < expires``) is a hit and
+  keeps the cached VIP, leaving its ``u_dns`` unconsumed;
+* the **first** stale occurrence of each ``(resolver, app)`` pair in the
+  batch draws a fresh answer with its own ``u_dns`` and writes the cache;
+* later occurrences of the same pair in the same batch then *hit* that
+  fresh entry (positive TTL) — unless the TTL is zero, in which case the
+  entry is already expired and every occurrence draws independently.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.dns.policy import weighted_cdf
+
+
+class VectorizedDnsTable:
+    """Columnar authority + resolver-population cache for a fixed app set.
+
+    ``apps`` fixes the app slots; ``zones[app]`` maps VIP name → weight
+    (the VIP *set* is fixed at construction, weights change via
+    :meth:`set_weights` — the K1 re-steer path).  VIPs are name-sorted
+    within each app's segment, matching ``AuthoritativeDNS``'s record
+    order, and get global *slots* ``vip_indptr[a] + offset``.
+    """
+
+    def __init__(
+        self,
+        apps: Sequence[str],
+        zones: Mapping[str, Mapping[str, float]],
+        n_resolvers: int,
+        ttl_s: float,
+        violators: Optional[np.ndarray] = None,
+        violation_factor: float = 10.0,
+    ):
+        if ttl_s < 0:
+            raise ValueError("ttl_s must be non-negative")
+        if violation_factor < 1:
+            raise ValueError("violation_factor must be >= 1")
+        self.apps = list(apps)
+        self.n_apps = len(self.apps)
+        self.n_resolvers = int(n_resolvers)
+        self.ttl_s = float(ttl_s)
+        self._app_slot = {a: i for i, a in enumerate(self.apps)}
+        counts = np.zeros(self.n_apps, dtype=np.int64)
+        names: list[str] = []
+        for i, app in enumerate(self.apps):
+            zone = zones[app]
+            if not zone:
+                raise ValueError(f"app {app}: empty VIP set")
+            vips = sorted(zone)
+            counts[i] = len(vips)
+            names.extend(vips)
+        self.vip_indptr = np.zeros(self.n_apps + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.vip_indptr[1:])
+        self.vip_names = names
+        self.weights = np.zeros(len(names))
+        self.cdf = np.zeros(len(names))
+        for i, app in enumerate(self.apps):
+            self._rebuild_segment(i, zones[app])
+        self.weight_updates = 0
+        # -- resolver population cache columns -------------------------
+        if violators is None:
+            violators = np.zeros(self.n_resolvers, dtype=bool)
+        violators = np.asarray(violators, dtype=bool)
+        if violators.shape != (self.n_resolvers,):
+            raise ValueError("violators mask must align with resolvers")
+        self.ttl_eff = self.ttl_s * np.where(violators, violation_factor, 1.0)
+        self.cached = np.full((self.n_resolvers, self.n_apps), -1, dtype=np.int64)
+        self.expires = np.full((self.n_resolvers, self.n_apps), -np.inf)
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- configuration (K1 surface) -----------------------------------
+    def _rebuild_segment(self, slot: int, zone: Mapping[str, float]) -> None:
+        lo, hi = int(self.vip_indptr[slot]), int(self.vip_indptr[slot + 1])
+        vips = self.vip_names[lo:hi]
+        if sorted(zone) != vips:
+            raise ValueError(
+                f"app {self.apps[slot]}: VIP set changed "
+                f"({sorted(zone)} != {vips})"
+            )
+        w = np.asarray([zone[v] for v in vips], dtype=float)
+        if (w < 0).any() or w.sum() <= 0:
+            raise ValueError(f"app {self.apps[slot]}: bad weight vector")
+        self.weights[lo:hi] = w
+        self.cdf[lo:hi] = weighted_cdf(w)
+
+    def set_weights(self, app: str, weights: Mapping[str, float]) -> None:
+        """K1 re-steer: replace one app's VIP weight vector in place."""
+        self._rebuild_segment(self._app_slot[app], weights)
+        self.weight_updates += 1
+
+    def zone(self, app: str) -> dict[str, float]:
+        slot = self._app_slot[app]
+        lo, hi = int(self.vip_indptr[slot]), int(self.vip_indptr[slot + 1])
+        return {
+            v: float(self.weights[lo + i])
+            for i, v in enumerate(self.vip_names[lo:hi])
+        }
+
+    def flush(self, app: Optional[str] = None) -> None:
+        """Expire cached answers (all apps, or one app's column)."""
+        if app is None:
+            self.expires[:, :] = -np.inf
+            self.cached[:, :] = -1
+        else:
+            slot = self._app_slot[app]
+            self.expires[:, slot] = -np.inf
+            self.cached[:, slot] = -1
+
+    # -- resolution ---------------------------------------------------
+    def resolve_batch(
+        self,
+        resolver: np.ndarray,
+        app: np.ndarray,
+        u_dns: np.ndarray,
+        now: float,
+    ) -> np.ndarray:
+        """Resolve one request batch; returns each request's VIP slot.
+
+        Mutates the cache exactly as the equivalent sequence of scalar
+        ``Resolver.lookup`` calls would (see the module docstring for the
+        within-batch duplicate semantics).
+        """
+        out = np.empty(resolver.shape[0], dtype=np.int64)
+        fresh = now < self.expires[resolver, app]
+        hits = np.flatnonzero(fresh)
+        out[hits] = self.cached[resolver[hits], app[hits]]
+        miss = np.flatnonzero(~fresh)
+        if miss.size == 0:
+            self.cache_hits += hits.size
+            return out
+        if self.ttl_s > 0:
+            # Only the first occurrence of each (resolver, app) pair
+            # queries; the rest hit the entry it caches.
+            key = resolver[miss] * np.int64(self.n_apps) + app[miss]
+            _, first = np.unique(key, return_index=True)
+            draw = miss[np.sort(first)]
+        else:
+            draw = miss
+        apps_d = app[draw]
+        order = np.argsort(apps_d, kind="stable")
+        sorted_apps = apps_d[order]
+        chosen = np.empty(draw.size, dtype=np.int64)
+        bounds = np.flatnonzero(np.diff(sorted_apps)) + 1
+        starts = np.concatenate(([0], bounds))
+        ends = np.concatenate((bounds, [sorted_apps.size]))
+        for s, e in zip(starts, ends):
+            a = int(sorted_apps[s])
+            lo, hi = self.vip_indptr[a], self.vip_indptr[a + 1]
+            sel = order[s:e]
+            chosen[sel] = lo + np.searchsorted(
+                self.cdf[lo:hi], u_dns[draw[sel]], side="right"
+            )
+        out[draw] = chosen
+        self.cached[resolver[draw], app[draw]] = chosen
+        self.expires[resolver[draw], app[draw]] = (
+            now + self.ttl_eff[resolver[draw]]
+        )
+        if self.ttl_s > 0 and draw.size < miss.size:
+            # Later duplicates read the entry their first occurrence
+            # just cached — sequentially those are cache *hits*.
+            out[miss] = self.cached[resolver[miss], app[miss]]
+        self.cache_misses += draw.size
+        self.cache_hits += hits.size + (miss.size - draw.size)
+        return out
+
+    def vip_name(self, slot: int) -> str:
+        return self.vip_names[slot]

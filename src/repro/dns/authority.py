@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Mapping, Optional
 
 import numpy as np
 
+from repro.dns.policy import weighted_pick
 from repro.dns.records import DNSAnswer, VipWeight
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -75,8 +76,11 @@ class AuthoritativeDNS:
         self.queries += 1
         records = self._zones[app]
         weights = np.asarray([r.weight for r in records], dtype=float)
-        probs = weights / weights.sum()
-        idx = int(rng.choice(len(records), p=probs))
+        # One uniform draw through the shared inverse-CDF keeps the RNG
+        # stream and the chosen index bit-identical to the historical
+        # ``rng.choice(len(records), p=probs)`` while letting the columnar
+        # data plane replay the exact same selection from recorded uniforms.
+        idx = weighted_pick(weights, rng.random())
         return DNSAnswer(
             app=app,
             vip=records[idx].vip,

@@ -8,9 +8,49 @@ These are the "appropriate VIPs" policies of Section IV-A.
 from __future__ import annotations
 
 import abc
-from typing import Mapping
+from typing import Mapping, Union
+
+import numpy as np
 
 from repro.network.links import AccessLink
+
+
+def weighted_cdf(weights: np.ndarray) -> np.ndarray:
+    """Normalized inverse-transform CDF over a weight vector.
+
+    This is byte-for-byte the arithmetic ``numpy.random.Generator.choice``
+    performs internally for a given ``p``: normalize to probabilities,
+    cumulative-sum, then renormalize the running sum so the last entry is
+    exactly 1.0.  Both the object-model authority and the columnar DNS
+    tables build their answer CDFs through this one function, which is
+    what makes a scalar ``rng.choice`` draw and a vectorized
+    ``searchsorted`` over the same uniforms *bit-identical* — the
+    equivalence the differential data-plane harness asserts.
+    """
+    w = np.asarray(weights, dtype=float)
+    if w.ndim != 1 or w.size == 0:
+        raise ValueError("weights must be a non-empty 1-d vector")
+    probs = w / w.sum()
+    cdf = probs.cumsum()
+    cdf /= cdf[-1]
+    return cdf
+
+
+def weighted_pick(
+    weights: np.ndarray, u: Union[float, np.ndarray]
+) -> Union[int, np.ndarray]:
+    """Index drawn proportionally to *weights* from uniform draw(s) *u*.
+
+    Scalar ``u`` returns an int; an array of uniforms returns the
+    corresponding index array in one ``searchsorted`` — the vectorized
+    path and the scalar path share the identical CDF, so feeding the same
+    uniforms through either yields the same answer sequence.
+    """
+    cdf = weighted_cdf(weights)
+    idx = np.searchsorted(cdf, u, side="right")
+    if np.ndim(u) == 0:
+        return int(idx)
+    return idx
 
 
 class ExposurePolicy(abc.ABC):

@@ -10,7 +10,31 @@ from __future__ import annotations
 
 from typing import Mapping, Optional
 
+import numpy as np
+
+from repro.dns.policy import weighted_pick
 from repro.lbswitch.conntrack import ConnectionTable
+
+
+def weighted_rip_pick(weights: Mapping[str, float], u: float) -> str:
+    """Canonical single-draw weighted RIP selection.
+
+    RIPs are ordered by name (the same canonical order the columnar
+    registry's per-VIP views use) and one is drawn by inverse-CDF from the
+    uniform *u* — the stateless counterpart of :class:`SmoothWeightedRR`
+    that the vectorized data plane can replay exactly: both sides share
+    :func:`repro.dns.policy.weighted_pick`, so identical uniforms yield
+    identical RIPs.
+    """
+    if not weights:
+        raise ValueError("need at least one RIP")
+    names = sorted(weights)
+    w = np.asarray([weights[r] for r in names], dtype=float)
+    if (w < 0).any():
+        raise ValueError("weights must be non-negative")
+    if w.sum() <= 0:
+        raise ValueError("at least one weight must be positive")
+    return names[weighted_pick(w, u)]
 
 
 class SmoothWeightedRR:

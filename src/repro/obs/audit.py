@@ -119,6 +119,8 @@ class InvariantAuditor:
             self._check_journal(ev)
         elif ev.kind == "k3.vacate":
             self._check_k3_conservation(ev)
+        elif ev.kind == "dataplane.steer":
+            self._check_steer_balance(ev)
         elif ev.kind == "epoch.end":
             self.audit_now(ev.t)
 
@@ -148,6 +150,28 @@ class InvariantAuditor:
                 ev.t, "k3-conservation",
                 pod=d.get("pod"), vms_before=before,
                 vms_after=after, stopped=stopped,
+            )
+
+    def _check_steer_balance(self, ev: "TraceEvent") -> None:
+        """Every steered request is accounted for exactly once: it either
+        opened a session, was rejected at capacity, or found no serving
+        RIP — and every request got a DNS answer (hit or miss)."""
+        d = ev.data
+        requests = d.get("requests")
+        if requests is None:
+            return
+        served = d.get("opened", 0) + d.get("rejected", 0) + d.get("unserved", 0)
+        if served != requests:
+            self._flag(
+                ev.t, "dataplane-balance", requests=requests,
+                opened=d.get("opened"), rejected=d.get("rejected"),
+                unserved=d.get("unserved"),
+            )
+        answered = d.get("dns_hits", 0) + d.get("dns_misses", 0)
+        if answered != requests:
+            self._flag(
+                ev.t, "dataplane-dns-balance", requests=requests,
+                dns_hits=d.get("dns_hits"), dns_misses=d.get("dns_misses"),
             )
 
     # -- structural sweep ---------------------------------------------------
@@ -217,6 +241,41 @@ class InvariantAuditor:
                 or (reg.rip_switch[:n][active] < 0).any()
             ):
                 self._flag(t, "mega-rip-row", active=int(active.sum()))
+        dataplane = getattr(driver, "dataplane", None)
+        if dataplane is not None:
+            self._audit_conntrack(t, dataplane.conn)
+
+    def _audit_conntrack(self, t: float, conn) -> None:
+        """``dataplane-conntrack``: the columnar conn table's per-switch
+        and per-VIP counters must agree with its row-level alive mask,
+        and no switch may exceed its session capacity."""
+        import numpy as np
+
+        live = conn.alive[: conn._size]
+        by_switch = np.bincount(
+            conn.conn_switch[: conn._size][live],
+            minlength=conn.switch_cap.shape[0],
+        )
+        by_vip = np.bincount(
+            conn.conn_vip[: conn._size][live],
+            minlength=conn.vip_count.shape[0],
+        )
+        if not np.array_equal(by_switch, conn.switch_count):
+            self._flag(
+                t, "dataplane-conntrack", counter="switch_count",
+                rows=int(live.sum()), counted=int(conn.switch_count.sum()),
+            )
+        if not np.array_equal(by_vip, conn.vip_count):
+            self._flag(
+                t, "dataplane-conntrack", counter="vip_count",
+                rows=int(live.sum()), counted=int(conn.vip_count.sum()),
+            )
+        over = conn.switch_count > conn.switch_cap
+        if over.any():
+            self._flag(
+                t, "dataplane-conntrack", counter="capacity",
+                switches_over=int(over.sum()),
+            )
 
     def _audit_tables(self, t: float) -> None:
         """VIPs on ≤1 switch; each RIP in ≤1 (switch, VIP) entry.

@@ -56,6 +56,7 @@ GUARDED_METRICS = (
     "noop_wall_s",
     "on_wall_s",
     "wall_per_epoch_s",
+    "steer_wall_s",
     "peak_rss_mb",
 )
 #: Unit suffix per guarded metric; anything not listed is wall-clock
@@ -79,6 +80,7 @@ BENCH_FILES = {
 #: ``repro bench`` — full scale is minutes of bootstrap work, not a
 #: pinned micro-workload).
 MEGA_FILE = "BENCH_mega.json"
+DATAPLANE_FILE = "BENCH_dataplane.json"
 
 
 def _drift(demands: np.ndarray, rng: np.random.Generator) -> np.ndarray:
@@ -270,7 +272,19 @@ def bench_solver(kind: str, n_servers: int, seed: int = 0) -> tuple[str, dict]:
 def bench_maxmin(
     n_flows: int, n_links: int, resolves: int, seed: int = 0
 ) -> tuple[str, dict]:
-    """Max-min fairness re-solves: rebuilt vs cached incidence matrix."""
+    """Max-min fairness re-solves: rebuilt vs cached incidence matrix.
+
+    The cached path passes both ``incidence`` and ``incidence_t`` — the
+    same pair :meth:`FlowSet.solve` reuses — so the bench measures what
+    production callers actually pay.  Expect the speedup to *shrink* as
+    ``n_flows`` grows: the build is O(nnz) once, while progressive
+    filling iterates one sparse matvec per saturation round, so the
+    amortized build+transpose share falls (measured ~3% of a flows=1000
+    solve, ~2% at flows=4000 — i.e. the honest speedup is 1.0x-1.1x, not
+    a headline number).  The regression gate guards ``cached_wall_s``
+    against the recorded baseline rather than a fixed speedup ratio for
+    exactly this reason.
+    """
     rng = np.random.default_rng(seed)
     capacities = rng.uniform(5.0, 20.0, n_links)
     routes = [
@@ -280,25 +294,40 @@ def bench_maxmin(
     demands = rng.uniform(0.1, 2.0, n_flows)
     weights = rng.uniform(0.5, 2.0, n_flows)
 
-    t0 = time.perf_counter()
-    for _ in range(resolves):
-        cold_rates = weighted_maxmin_fair(
-            routes, capacities, demands=demands, weights=weights
-        )
-    cold_wall = time.perf_counter() - t0
-
     flowset = FlowSet(capacities)
     for i, route in enumerate(routes):
         flowset.add(
             Flow(key=i, links=tuple(route), demand_gbps=demands[i], weight=weights[i])
         )
     A = flowset.incidence  # built once, reused for every re-solve
-    t0 = time.perf_counter()
-    for _ in range(resolves):
-        cached_rates = weighted_maxmin_fair(
-            routes, capacities, demands=demands, weights=weights, incidence=A
-        )
-    cached_wall = time.perf_counter() - t0
+    AT = flowset.incidence_t
+
+    # The cache's win is a few percent at these sizes — smaller than the
+    # drift of a busy runner over one 20-resolve block, which biases any
+    # block-at-a-time comparison toward whichever path ran in the
+    # friendlier window.  Alternate the two paths solve by solve so both
+    # sample identical machine conditions, and keep the best of 3 rounds.
+    cold_wall = cached_wall = float("inf")
+    for _ in range(3):
+        cold_t = cached_t = 0.0
+        for _ in range(resolves):
+            t0 = time.perf_counter()
+            cold_rates = weighted_maxmin_fair(
+                routes, capacities, demands=demands, weights=weights
+            )
+            cold_t += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            cached_rates = weighted_maxmin_fair(
+                routes,
+                capacities,
+                demands=demands,
+                weights=weights,
+                incidence=A,
+                incidence_t=AT,
+            )
+            cached_t += time.perf_counter() - t0
+        cold_wall = min(cold_wall, cold_t)
+        cached_wall = min(cached_wall, cached_t)
 
     wid = f"maxmin[flows={n_flows},links={n_links},resolves={resolves}]"
     return wid, {
@@ -977,4 +1006,164 @@ def cmd_mega(
             print(f"  {f}", file=out)
         return 1
     print("\nmega ok", file=out)
+    return 0
+
+
+# ---------------------------------------------------------- dataplane lane
+
+
+def bench_dataplane(
+    quick: bool, epochs: int = 4, workers: int = 1, seed: int = 0
+) -> tuple[str, dict]:
+    """The traffic data plane lane: E19's steered epochs as a pinned
+    workload.
+
+    Headline metrics are steering throughput (``requests_per_s`` over the
+    columnar path's own wall, excluding placement) and peak RSS; at quick
+    scale the object data plane races the same stream so the committed
+    baseline records the measured ``speedup_vs_object`` the PR gates on.
+    """
+    from repro.experiments import e19_dataplane as e19
+
+    t0 = time.perf_counter()
+    result = e19.run(full=not quick, epochs=epochs, workers=workers, seed=seed)
+    wall = time.perf_counter() - t0
+    cfg, sc = result.config, result.steering
+    rows = result.rows
+    wid = (
+        f"dataplane[pods={cfg.n_pods},servers={cfg.n_servers},"
+        f"apps={cfg.n_apps},req={sc.requests_per_epoch}]"
+    )
+    metrics = {
+        "epochs": len(rows),
+        "requests": result.requests_total,
+        "bootstrap_wall_s": round(result.bootstrap_wall_s, 4),
+        "wall_s": round(wall, 4),
+        "steer_wall_s": round(result.steer_wall_total_s, 4),
+        "requests_per_s": round(result.requests_per_s, 1),
+        "dns_hit_rate": round(
+            sum(r.dns_hit_rate * r.requests for r in rows)
+            / max(result.requests_total, 1),
+            4,
+        ),
+        "opened": sum(r.opened for r in rows),
+        "rejected": sum(r.rejected for r in rows),
+        "unserved": sum(r.unserved for r in rows),
+        "dropped": sum(r.dropped for r in rows),
+        "alive_final": rows[-1].alive if rows else 0,
+        "knobs_fired": dict(sorted(result.knob_events.items())),
+        "auditor_ok": result.auditor_ok,
+        "peak_rss_mb": round(peak_rss_mb(), 1),
+    }
+    if result.speedup_vs_object is not None:
+        metrics["object_requests_per_s"] = round(
+            result.object_requests_per_s, 1
+        )
+        metrics["speedup_vs_object"] = round(result.speedup_vs_object, 2)
+    return wid, metrics
+
+
+def cmd_dataplane(
+    quick: bool,
+    out_dir: str,
+    workers: int,
+    epochs: int,
+    baseline: Optional[str],
+    max_regression: float,
+    max_rss_mb: float,
+    min_speedup: float = 10.0,
+    out=None,
+) -> int:
+    """Run the data-plane lane, write ``BENCH_dataplane.json``, gate
+    throughput, the quick-scale object-path speedup, and peak RSS."""
+    import sys
+
+    out = out if out is not None else sys.stdout
+    out_path = pathlib.Path(out_dir)
+    out_path.mkdir(parents=True, exist_ok=True)
+    mode = "quick" if quick else "full"
+    print(
+        f"repro dataplane ({mode}, cpu_count={os.cpu_count()}, "
+        f"workers={workers}, epochs={epochs})",
+        file=out,
+    )
+    wid, metrics = bench_dataplane(quick, epochs=epochs, workers=workers)
+    metrics["cpu_count"] = os.cpu_count()
+    # Same merge pattern as the mega lane: quick and full entries share
+    # one committed baseline file, keyed by the scale-encoding workload id.
+    dest = out_path / DATAPLANE_FILE
+    workloads = {}
+    if dest.is_file():
+        try:
+            workloads = dict(json.loads(dest.read_text()).get("workloads", {}))
+        except (json.JSONDecodeError, OSError):
+            workloads = {}
+    workloads[wid] = metrics
+    result = {
+        "schema": SCHEMA,
+        "suite": "dataplane",
+        "quick": quick,
+        "cpu_count": os.cpu_count(),
+        "workloads": workloads,
+    }
+    dest.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\n[dataplane] -> {dest}", file=out)
+    print(f"  {wid}:", file=out)
+    for key in (
+        "epochs",
+        "requests",
+        "requests_per_s",
+        "steer_wall_s",
+        "dns_hit_rate",
+        "opened",
+        "rejected",
+        "unserved",
+        "dropped",
+        "knobs_fired",
+        "object_requests_per_s",
+        "speedup_vs_object",
+        "auditor_ok",
+        "peak_rss_mb",
+    ):
+        if key in metrics:
+            print(f"    {key} = {metrics[key]}", file=out)
+    failures = []
+    if metrics["opened"] + metrics["rejected"] + metrics["unserved"] != (
+        metrics["requests"]
+    ):
+        failures.append(f"{wid}: steering outcome counters do not balance")
+    if not metrics["auditor_ok"]:
+        failures.append(f"{wid}: invariant auditor reported violations")
+    if metrics["peak_rss_mb"] > max_rss_mb:
+        failures.append(
+            f"{wid}: metric 'peak_rss_mb' exceeds budget: "
+            f"{metrics['peak_rss_mb']:.1f} MB > allowed {max_rss_mb:.1f} MB"
+        )
+    if "speedup_vs_object" in metrics and (
+        metrics["speedup_vs_object"] < min_speedup
+    ):
+        failures.append(
+            f"{wid}: speedup_vs_object {metrics['speedup_vs_object']:.2f}x "
+            f"< required {min_speedup:.1f}x"
+        )
+    if baseline is not None:
+        base_file = pathlib.Path(baseline) / DATAPLANE_FILE
+        if base_file.is_file():
+            base = json.loads(base_file.read_text())
+            violations, skipped = compare_to_baseline(
+                result, base, max_regression
+            )
+            for s in skipped:
+                print(f"  WARNING {s}", file=out)
+            for v in violations:
+                print(f"  REGRESSION {v}", file=out)
+            failures.extend(violations)
+        else:
+            print(f"  (no baseline {base_file}; skipping gate)", file=out)
+    if failures:
+        print(f"\ndataplane FAILED ({len(failures)} problem(s))", file=out)
+        for f in failures:
+            print(f"  {f}", file=out)
+        return 1
+    print("\ndataplane ok", file=out)
     return 0

@@ -4,6 +4,7 @@ from repro.testing.differential import (
     DifferentialResult,
     DivergenceError,
     ObjectTwin,
+    run_dataplane_differential,
     run_differential,
 )
 
@@ -11,5 +12,6 @@ __all__ = [
     "DifferentialResult",
     "DivergenceError",
     "ObjectTwin",
+    "run_dataplane_differential",
     "run_differential",
 ]

@@ -38,7 +38,12 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.columnar import ColumnarPodState
-from repro.core.mega import MegaConfig, MegaControlPlaneConfig, MegaScaleDriver
+from repro.core.mega import (
+    MegaConfig,
+    MegaControlPlaneConfig,
+    MegaScaleDriver,
+    MegaSteeringConfig,
+)
 from repro.core.pod import Pod
 from repro.core.pod_manager import PodManager
 from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
@@ -445,6 +450,194 @@ def run_differential(
                 compare_states(
                     driver, twin, result.mismatches, when=f"epoch {epoch}"
                 )
+        compare_rip_homing(driver, result.mismatches)
+        result.epochs = epochs
+        result.faults_injected = injector.injected if injector else 0
+    return result
+
+
+# -- data-plane differential ----------------------------------------------
+def compare_steer(col, obj, out: list[str], max_detail: int = 5) -> None:
+    """Request-for-request equivalence of one epoch's steering outcome:
+    same VIP answer, same RIP choice, same acceptance, same counters."""
+    e = col.epoch
+    for name in (
+        "requests", "dns_hits", "dns_misses", "opened", "rejected",
+        "unserved", "closed",
+    ):
+        a, b = getattr(col, name), getattr(obj, name)
+        if a != b:
+            out.append(f"epoch {e}: steer {name} {a} != {b}")
+    if col.outcomes is None or obj.outcomes is None:
+        out.append(f"epoch {e}: steer outcomes not recorded on both sides")
+        return
+    shown = 0
+    for k, (cv, ov) in enumerate(
+        zip(col.outcomes["vip"], obj.outcomes["vip"])
+    ):
+        if cv != ov and shown < max_detail:
+            out.append(f"epoch {e} request {k}: vip {cv!r} != {ov!r}")
+            shown += 1
+    for k, (cr, orr) in enumerate(
+        zip(col.outcomes["rip"], obj.outcomes["rip"])
+    ):
+        if cr != orr and shown < max_detail:
+            out.append(f"epoch {e} request {k}: rip {cr!r} != {orr!r}")
+            shown += 1
+    acc_c, acc_o = col.outcomes["accepted"], obj.outcomes["accepted"]
+    if not np.array_equal(acc_c, acc_o):
+        bad = np.flatnonzero(acc_c != acc_o)
+        out.append(
+            f"epoch {e}: acceptance differs at {bad.size} requests"
+            f" (first: {bad[:max_detail].tolist()})"
+        )
+
+
+def compare_conn_state(
+    driver: MegaScaleDriver, obj_dp, out: list[str], when: str
+) -> None:
+    """Live-session state equivalence: per-(VIP, RIP) counts and the K2
+    pause window of every VIP."""
+    col_pairs = driver.dataplane.live_pairs()
+    obj_pairs = obj_dp.live_pairs()
+    if col_pairs != obj_pairs:
+        only_c = sorted(set(col_pairs) - set(obj_pairs))[:3]
+        only_o = sorted(set(obj_pairs) - set(col_pairs))[:3]
+        diff = [
+            k
+            for k in set(col_pairs) & set(obj_pairs)
+            if col_pairs[k] != obj_pairs[k]
+        ][:3]
+        out.append(
+            f"[{when}] live (vip, rip) pairs differ: columnar-only "
+            f"{only_c}, object-only {only_o}, count-mismatch {diff}"
+        )
+    registry = driver.bridge.registry
+    for vid in range(len(registry.vips)):
+        vip = registry.vips.name(vid)
+        col_paused = driver.dataplane.is_paused(vip)
+        obj_paused = obj_dp.is_paused(vip)
+        if col_paused != obj_paused:
+            out.append(
+                f"[{when}] pause window differs for {vip}: "
+                f"columnar {col_paused}, object {obj_paused}"
+            )
+
+
+def run_dataplane_differential(
+    config: Optional[MegaConfig] = None,
+    *,
+    schedule: Optional[FaultSchedule] = None,
+    epochs: int = 4,
+    control_plane: Optional[MegaControlPlaneConfig] = None,
+    steering: Optional[MegaSteeringConfig] = None,
+    knobs: Optional[dict] = None,
+    placement_twin: bool = True,
+    check_every_epoch: bool = True,
+) -> DifferentialResult:
+    """Replay one seeded request + fault + knob interleaving through the
+    columnar data plane (inside the mega driver's epoch loop) and the
+    object data plane (Resolver / AuthoritativeDNS / weighted RIP pick /
+    per-switch ConnectionTable), and assert they steer identically.
+
+    Both planes read the *same* live control-plane switches — control
+    plane vs mirror equivalence is `compare_rip_homing`'s job — but own
+    independent DNS caches, conn tables and counters, fed the exact same
+    per-request uniforms.
+
+    Parameters
+    ----------
+    knobs:
+        ``epoch -> [("k1", app, {vip: weight}), ("k2", app, vip) |
+        ("k2", app, vip, True)]`` — queued on the driver (fires between
+        mirror sync and steering) and mirrored onto the object plane at
+        the same point.  A non-forced K2 of an unpaused VIP is a no-op on
+        both sides; the oracle asserts the pause windows agree first.
+    placement_twin:
+        Also run the object placement twin and its per-epoch aggregate /
+        end-state checks (the full PR-9 oracle) alongside the data-plane
+        checks.
+    """
+    from repro.dataplane.objectpath import ObjectDataPlane
+    from repro.faults.mega import MegaFaultInjector
+
+    cfg = config if config is not None else MegaConfig.tiny()
+    cp = (
+        control_plane
+        if control_plane is not None
+        else MegaControlPlaneConfig(wired_apps=16, vips_per_app=2)
+    )
+    sc = steering if steering is not None else MegaSteeringConfig(
+        requests_per_epoch=2_000,
+        n_resolvers=100,
+        chunk_requests=256,
+        switch_max_connections=1_000,
+    )
+    if sc.knob_period:
+        raise ValueError(
+            "dataplane differential uses scripted knobs; set knob_period=0"
+        )
+    knobs = knobs or {}
+    result = DifferentialResult()
+    with MegaScaleDriver(cfg, control_plane=cp, steering=sc) as driver:
+        driver.dataplane.record_outcomes = True
+        wired = [driver._app_name(int(g)) for g in driver._wired_gids]
+        zones = {app: driver.dataplane.dns.zone(app) for app in wired}
+        obj_dp = ObjectDataPlane(
+            driver.dataplane_switches(),
+            wired,
+            zones,
+            driver.request_stream,
+            ttl_s=sc.ttl_s,
+            violation_factor=sc.violation_factor,
+            switch_max_connections=sc.switch_max_connections,
+        )
+        twin = ObjectTwin(driver) if placement_twin else None
+        injector = None
+        events: Sequence[FaultEvent] = ()
+        if schedule is not None:
+            injector = MegaFaultInjector(driver, schedule)
+            events = schedule.events
+        nxt = 0
+        for epoch in range(epochs):
+            t = epoch * cfg.epoch_s
+            for act in knobs.get(epoch, ()):
+                driver.queue_knob(epoch, act)
+            # Mirror the injector's due faults onto both twins before the
+            # driver fires them inside run_epoch.
+            while nxt < len(events) and events[nxt].t <= t:
+                ev = events[nxt]
+                if twin is not None:
+                    twin.apply_event(ev)
+                if ev.kind is FaultKind.POD_LOSS:
+                    obj_dp.on_pod_loss(ev.target)
+                nxt += 1
+            report = driver.run_epoch()
+            # Mirror the knob actions at the same point of the object
+            # plane's epoch: after faults, before its steer.
+            for act in knobs.get(epoch, ()):
+                if act[0] == "k1":
+                    obj_dp.k1_set_weights(act[1], act[2])
+                else:
+                    vip = act[2]
+                    force = bool(act[3]) if len(act) > 3 else False
+                    if force and not obj_dp.is_paused(vip):
+                        obj_dp.drop_vip_conns(vip)
+            obj_rep = obj_dp.steer_epoch(epoch, t, record=True)
+            col_rep = driver.dataplane.last_report
+            result.history.append((col_rep, obj_rep))
+            compare_steer(col_rep, obj_rep, result.mismatches)
+            if twin is not None:
+                twin_ep = twin.run_epoch(t)
+                compare_epoch(report, twin_ep, result.mismatches)
+            if check_every_epoch or epoch == epochs - 1:
+                compare_conn_state(
+                    driver, obj_dp, result.mismatches, when=f"epoch {epoch}"
+                )
+                if twin is not None:
+                    compare_states(
+                        driver, twin, result.mismatches, when=f"epoch {epoch}"
+                    )
         compare_rip_homing(driver, result.mismatches)
         result.epochs = epochs
         result.faults_injected = injector.injected if injector else 0

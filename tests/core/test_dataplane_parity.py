@@ -1,0 +1,132 @@
+"""Differential parity: columnar data plane vs the object data plane.
+
+Every request in a seeded stream must steer identically through both —
+same DNS answer, same RIP choice, same accept/reject, same pause
+windows — while faults churn the RIP mirror and scripted K1/K2 knobs
+fire mid-stream.  The seed matrix widens under ``REPRO_CHAOS_SEEDS``
+(comma-separated ints), mirroring the placement parity suite.
+"""
+
+import os
+
+import pytest
+
+from repro.core.mega import (
+    MegaConfig,
+    MegaControlPlaneConfig,
+    MegaScaleDriver,
+    MegaSteeringConfig,
+)
+from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+from repro.testing import run_dataplane_differential
+
+CHAOS_SEEDS = [
+    int(s)
+    for s in os.environ.get("REPRO_CHAOS_SEEDS", "7,23").split(",")
+    if s.strip()
+]
+
+#: MegaConfig.tiny geometry: 4 pods x 12 servers.
+PODS = [f"pod-{p:03d}" for p in range(4)]
+SERVERS = [f"pod-{p:03d}-s{i:06d}" for p in range(4) for i in range(12)]
+CP = MegaControlPlaneConfig(wired_apps=16, vips_per_app=2)
+
+
+def probe_zones(cfg=None, control_plane=CP):
+    """VIP assignment is deterministic per (config, control plane): read
+    the zone map off a throwaway driver so knob scripts can name VIPs."""
+    with MegaScaleDriver(
+        cfg or MegaConfig.tiny(),
+        control_plane=control_plane,
+        steering=MegaSteeringConfig(requests_per_epoch=1, n_resolvers=1),
+    ) as drv:
+        wired = [drv._app_name(int(g)) for g in drv._wired_gids]
+        return {app: dict(drv.dataplane.dns.zone(app)) for app in wired}
+
+
+def test_steering_parity_no_faults():
+    run_dataplane_differential(epochs=3).raise_for_divergence()
+
+
+def test_steering_parity_zero_ttl():
+    run_dataplane_differential(
+        epochs=3,
+        steering=MegaSteeringConfig(
+            requests_per_epoch=1_500,
+            n_resolvers=80,
+            chunk_requests=128,
+            ttl_s=0.0,
+            switch_max_connections=800,
+        ),
+    ).raise_for_divergence()
+
+
+def test_steering_parity_under_scripted_faults():
+    schedule = FaultSchedule(
+        [
+            FaultEvent(60.0, FaultKind.POD_LOSS, "pod-001"),
+            FaultEvent(120.0, FaultKind.SERVER_CRASH, "pod-000-s000003"),
+            FaultEvent(180.0, FaultKind.POD_RESTORE, "pod-001"),
+            FaultEvent(240.0, FaultKind.SERVER_RECOVER, "pod-000-s000003"),
+        ]
+    )
+    result = run_dataplane_differential(schedule=schedule, epochs=6)
+    result.raise_for_divergence()
+    assert result.faults_injected == 4
+
+
+def test_steering_parity_with_knobs_mid_stream():
+    zones = probe_zones()
+    apps = sorted(zones)
+    v0 = sorted(zones[apps[0]])
+    v1 = sorted(zones[apps[1]])
+    knobs = {
+        1: [("k1", apps[0], {v0[0]: 50.0, v0[1]: 1.0})],
+        2: [("k2", apps[1], v1[0])],          # likely blocked: live conns
+        3: [("k2", apps[1], v1[0], True)],    # forced: drains then moves
+        4: [("k1", apps[0], {v0[0]: 1.0, v0[1]: 50.0})],
+    }
+    run_dataplane_differential(epochs=6, knobs=knobs).raise_for_divergence()
+
+
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+def test_dataplane_chaos_matrix(seed):
+    """Seeded fail/repair cycles with knob actions interleaved: the
+    request-for-request contract must hold while pods die mid-epoch and
+    K1/K2 rewrite the answer distribution and VIP homing."""
+    cfg = MegaConfig.tiny(seed=seed)
+    epochs = 6
+    schedule = FaultSchedule.random(
+        seed,
+        epochs * cfg.epoch_s,
+        servers=SERVERS[::5],
+        pods=PODS[:3],
+        mtbf_s=150.0,
+        mttr_s=90.0,
+    )
+    zones = probe_zones(cfg)
+    apps = sorted(zones)
+    a, b = apps[seed % len(apps)], apps[(seed + 3) % len(apps)]
+    va, vb = sorted(zones[a]), sorted(zones[b])
+    knobs = {
+        1: [("k1", a, {va[0]: 1.0 + seed % 5, va[1]: 1.0})],
+        3: [("k2", b, vb[seed % len(vb)], True)],
+        4: [("k1", a, {va[0]: 1.0, va[1]: 2.0})],
+    }
+    result = run_dataplane_differential(
+        cfg, schedule=schedule, epochs=epochs, knobs=knobs
+    )
+    result.raise_for_divergence()
+
+
+def test_chunking_invisible_to_parity():
+    """The oracle holds regardless of the columnar chunk size."""
+    run_dataplane_differential(
+        epochs=2,
+        steering=MegaSteeringConfig(
+            requests_per_epoch=2_000,
+            n_resolvers=100,
+            chunk_requests=37,
+            switch_max_connections=1_000,
+        ),
+    ).raise_for_divergence()

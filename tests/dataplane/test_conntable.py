@@ -1,0 +1,137 @@
+"""Columnar connection table: sequential-fill parity and lifecycle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataplane.conntable import ColumnarConnTable, _group_positions
+
+
+def test_group_positions():
+    ids = np.array([3, 5, 3, 3, 5, 9, 3])
+    assert _group_positions(ids).tolist() == [0, 0, 1, 2, 1, 0, 3]
+    assert _group_positions(np.zeros(0, dtype=np.int64)).size == 0
+
+
+def scalar_fill(count, cap, switch):
+    """Reference: sequential per-request capacity check."""
+    count = count.copy()
+    out = []
+    for s in switch:
+        ok = count[s] < cap[s]
+        if ok:
+            count[s] += 1
+        out.append(ok)
+    return np.asarray(out, dtype=bool)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    switches=st.lists(st.integers(0, 3), min_size=0, max_size=60),
+    caps=st.lists(st.integers(1, 12), min_size=4, max_size=4),
+    pre=st.lists(st.integers(0, 8), min_size=4, max_size=4),
+)
+def test_try_open_batch_matches_sequential_fill(switches, caps, pre):
+    caps = np.asarray(caps, dtype=np.int64)
+    pre = np.minimum(np.asarray(pre, dtype=np.int64), caps)
+    table = ColumnarConnTable(4, caps)
+    # preload each switch to its starting occupancy
+    for s, k in enumerate(pre):
+        if k:
+            table.try_open_batch(
+                np.zeros(k, dtype=np.int64),
+                np.zeros(k, dtype=np.int64),
+                np.full(k, s, dtype=np.int64),
+                np.full(k, 10**6, dtype=np.int64),
+            )
+    sw = np.asarray(switches, dtype=np.int64)
+    got = table.try_open_batch(
+        np.arange(sw.size, dtype=np.int64),
+        np.arange(sw.size, dtype=np.int64),
+        sw,
+        np.full(sw.size, 10**6, dtype=np.int64),
+    )
+    want = scalar_fill(pre, caps, sw)
+    assert np.array_equal(got, want)
+    assert table.rejected == int((~want).sum())
+
+
+def full_table():
+    t = ColumnarConnTable(2, 100, n_vips=3)
+    vip = np.array([0, 1, 2, 0, 1], dtype=np.int64)
+    rip = np.array([10, 11, 12, 10, 13], dtype=np.int64)
+    sw = np.array([0, 0, 1, 1, 0], dtype=np.int64)
+    close = np.array([1, 2, 1, 3, 2], dtype=np.int64)
+    assert t.try_open_batch(vip, rip, sw, close).all()
+    return t
+
+
+def test_close_due_retires_and_counts():
+    t = full_table()
+    assert t.alive_count == 5
+    assert t.close_due(0) == 0
+    assert t.close_due(1) == 2
+    assert t.alive_count == 3 and t.closed == 2
+    assert t.count_for_vip(0) == 1 and t.count_for_vip(2) == 0
+    assert t.is_paused(2) and not t.is_paused(0)
+    assert t.close_due(5) == 3
+    assert t.alive_count == 0
+
+
+def test_drop_vip_and_drop_rips():
+    t = full_table()
+    assert t.drop_vip(0) == 2
+    assert t.dropped == 2 and t.count_for_vip(0) == 0
+    mask = np.zeros(20, dtype=bool)
+    mask[13] = True
+    assert t.drop_rips(mask) == 1
+    assert t.dropped == 3
+    assert t.live_pairs() == {(1, 11): 1, (2, 12): 1}
+
+
+def test_live_pairs_counts_duplicates():
+    t = ColumnarConnTable(1, 100, n_vips=1)
+    vip = np.zeros(4, dtype=np.int64)
+    rip = np.array([7, 7, 8, 7], dtype=np.int64)
+    t.try_open_batch(vip, rip, np.zeros(4, dtype=np.int64), np.full(4, 9, dtype=np.int64))
+    assert t.live_pairs() == {(0, 7): 3, (0, 8): 1}
+
+
+def test_growth_and_compaction_bound_memory():
+    t = ColumnarConnTable(1, 10**9)
+    n = 3000
+    for epoch in range(5):
+        opened = t.try_open_batch(
+            np.zeros(n, dtype=np.int64),
+            np.zeros(n, dtype=np.int64),
+            np.zeros(n, dtype=np.int64),
+            np.full(n, epoch, dtype=np.int64),  # all close next epoch
+        )
+        assert opened.all()
+        t.close_due(epoch)
+    # rows compacted: storage stays O(live), not O(ever opened)
+    assert t.opened == 5 * n and t.closed == 5 * n
+    assert t._size < 2 * n + 4096
+    assert t.alive_count == 0
+
+
+def test_ensure_switches_grows_with_default_capacity():
+    t = ColumnarConnTable(2, 5)
+    t.ensure_switches(4, 7)
+    assert t.switch_cap.tolist() == [5, 5, 7, 7]
+    assert t.switch_count.tolist() == [0, 0, 0, 0]
+    acc = t.try_open_batch(
+        np.zeros(8, dtype=np.int64),
+        np.zeros(8, dtype=np.int64),
+        np.full(8, 3, dtype=np.int64),
+        np.full(8, 9, dtype=np.int64),
+    )
+    assert acc.sum() == 7  # new switch honours its capacity
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ColumnarConnTable(0, 5)
+    with pytest.raises(ValueError):
+        ColumnarConnTable(2, 0)

@@ -1,0 +1,158 @@
+"""Columnar steering layer: chunk invariance, knobs, driver integration."""
+
+import numpy as np
+import pytest
+
+from repro.core.mega import (
+    MegaConfig,
+    MegaControlPlaneConfig,
+    MegaScaleDriver,
+    MegaSteeringConfig,
+)
+from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+from repro.obs.audit import InvariantAuditor
+from repro.obs.trace import TraceBus
+
+CP = MegaControlPlaneConfig(wired_apps=16, vips_per_app=2)
+
+
+def make_driver(trace=None, **steer_over):
+    steer_over.setdefault("requests_per_epoch", 3000)
+    steer_over.setdefault("n_resolvers", 150)
+    steer_over.setdefault("chunk_requests", 512)
+    steer_over.setdefault("switch_max_connections", 1500)
+    return MegaScaleDriver(
+        MegaConfig.tiny(),
+        trace=trace,
+        control_plane=CP,
+        steering=MegaSteeringConfig(**steer_over),
+    )
+
+
+def epoch_key(report):
+    return (
+        report.requests, report.dns_hits, report.dns_misses,
+        report.conns_opened, report.conns_rejected, report.conns_closed,
+        report.unserved,
+    )
+
+
+@pytest.mark.parametrize("chunk", [64, 997, 3000])
+def test_chunk_size_cannot_change_outcomes(chunk):
+    base = make_driver(chunk_requests=512)
+    other = make_driver(chunk_requests=chunk)
+    for _ in range(3):
+        a, b = base.run_epoch(), other.run_epoch()
+        assert epoch_key(a) == epoch_key(b)
+    assert base.dataplane.live_pairs() == other.dataplane.live_pairs()
+    base.close()
+    other.close()
+
+
+def test_steer_reports_balance():
+    with make_driver() as drv:
+        for _ in range(3):
+            r = drv.run_epoch()
+            assert r.conns_opened + r.conns_rejected + r.unserved == r.requests
+            assert r.dns_hits + r.dns_misses == r.requests
+            assert drv.dataplane.conn.alive_count >= 0
+
+
+def test_k1_resteer_moves_answer_mass():
+    with make_driver(ttl_s=0.0) as drv:
+        app = drv._app_name(0)
+        vips = sorted(drv.dataplane.dns.zone(app))
+        assert len(vips) == 2
+        drv.k1_resteer(app, {vips[0]: 1000.0, vips[1]: 1.0})
+        assert drv.dataplane.dns.zone(app)[vips[0]] == 1000.0
+        drv.run_epoch()
+        reg = drv.bridge.registry
+        hot = drv.dataplane.conn.count_for_vip(reg.vips.get(vips[0]))
+        cold = drv.dataplane.conn.count_for_vip(reg.vips.get(vips[1]))
+        assert hot > 10 * max(cold, 1)
+
+
+def test_k2_blocked_without_pause_then_forced():
+    with make_driver() as drv:
+        drv.run_epoch()
+        app = drv._app_name(0)
+        vip = next(
+            v for v in sorted(drv.dataplane.dns.zone(app))
+            if not drv.dataplane.is_paused(v)
+        )
+        src = drv.dataplane.switch_of_vip(vip)
+        assert drv.k2_rehome(app, vip) is False  # live conns: blocked
+        assert drv.dataplane.switch_of_vip(vip) == src
+        dropped0 = drv.dataplane.conn.dropped
+        moved = drv.k2_rehome(app, vip, force=True)
+        assert drv.dataplane.conn.dropped > dropped0
+        assert drv.dataplane.is_paused(vip)
+        if moved:
+            assert drv.dataplane.switch_of_vip(vip) != src
+
+
+def test_pod_loss_drops_pinned_sessions_and_unserves():
+    with make_driver() as drv:
+        drv.run_epoch()
+        assert drv.dataplane.conn.dropped == 0
+        drv.lose_pod("pod-001", t=60.0)
+        assert drv.dataplane.conn.dropped > 0
+        # no live session may reference a dead-pod RIP
+        reg = drv.bridge.registry
+        pid = reg.pods.get("pod-001")
+        conn = drv.dataplane.conn
+        live_rips = conn.conn_rip[: conn._size][conn.alive[: conn._size]]
+        assert not (reg.rip_pod[live_rips] == pid).any()
+
+
+def test_knob_schedule_and_trace_events():
+    trace = TraceBus()
+    drv = make_driver(trace=trace, knob_period=2)
+    seen = []
+    trace.subscribe(lambda ev: seen.append(ev))
+    auditor = InvariantAuditor(columnar=drv, strict=True).attach(trace)
+    for _ in range(4):
+        drv.run_epoch()
+    kinds = [ev.kind for ev in seen]
+    assert kinds.count("dataplane.steer") == 4
+    assert kinds.count("dataplane.conntrack") == 4
+    knob_events = [ev for ev in seen if ev.kind == "knob"]
+    assert any(ev.data["knob"] == "K1" for ev in knob_events)
+    assert auditor.ok
+    assert drv.dataplane.dns.weight_updates == 1  # epoch 2 fired K1
+    drv.close()
+
+
+def test_scripted_knob_queue_runs_inside_epoch():
+    with make_driver() as drv:
+        app = drv._app_name(1)
+        vips = sorted(drv.dataplane.dns.zone(app))
+        drv.queue_knob(1, ("k1", app, {vips[0]: 9.0, vips[1]: 1.0}))
+        drv.run_epoch()
+        assert drv.dataplane.dns.zone(app)[vips[0]] == 1.0  # not yet
+        drv.run_epoch()
+        assert drv.dataplane.dns.zone(app)[vips[0]] == 9.0
+        with pytest.raises(ValueError):
+            drv.queue_knob(3, ("k9", app, {}))
+
+
+def test_fault_injected_epoch_accounts_drops_in_report():
+    drv = make_driver()
+    from repro.faults.mega import MegaFaultInjector
+
+    schedule = FaultSchedule([
+        FaultEvent(120.0, FaultKind.POD_LOSS, "pod-002"),
+        FaultEvent(240.0, FaultKind.POD_RESTORE, "pod-002"),
+    ])
+    MegaFaultInjector(drv, schedule)
+    reports = [drv.run_epoch() for _ in range(5)]
+    assert reports[2].conns_dropped > 0
+    assert sum(r.conns_dropped for r in reports) == drv.dataplane.conn.dropped
+    drv.close()
+
+
+def test_steering_requires_control_plane():
+    with pytest.raises(ValueError):
+        MegaScaleDriver(
+            MegaConfig.tiny(), steering=MegaSteeringConfig()
+        )

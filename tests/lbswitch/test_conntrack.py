@@ -2,6 +2,8 @@
 forced VIP drops."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.lbswitch.conntrack import ConnectionTable
 
@@ -67,3 +69,66 @@ def test_drop_vip_kills_only_that_vip():
     assert table.is_paused("vip1")
     assert table.count_for_vip("vip2") == 1
     assert table.drop_vip("vip1") == 0  # idempotent once empty
+
+
+class ScanTable(ConnectionTable):
+    """Reference: the pre-index full-table-scan drop_vip."""
+
+    def drop_vip(self, vip: str) -> int:
+        doomed = [c.conn_id for c in self._conns.values() if c.vip == vip]
+        for cid in doomed:
+            self.close(cid)
+        return len(doomed)
+
+
+@st.composite
+def table_programs(draw):
+    """Random open/close/drop interleavings over 3 VIPs, 4 RIPs."""
+    ops, live, next_id = [], [], 0
+    for _ in range(draw(st.integers(0, 40))):
+        kind = draw(st.sampled_from(["open", "open", "open", "close", "drop"]))
+        if kind == "open":
+            ops.append(("open", next_id, draw(st.integers(0, 2)), draw(st.integers(0, 3))))
+            live.append(next_id)
+            next_id += 1
+        elif kind == "close" and live:
+            cid = live.pop(draw(st.integers(0, len(live) - 1)))
+            ops.append(("close", cid))
+        elif kind == "drop":
+            ops.append(("drop", draw(st.integers(0, 2))))
+    return ops
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=table_programs(), cap=st.integers(1, 25))
+def test_indexed_drop_vip_matches_full_scan(program, cap):
+    """The per-VIP conn-id index must be behavior-preserving: any
+    open/close/drop interleaving leaves both implementations with the
+    same sessions, counts, rejections and drop totals."""
+    fast, slow = ConnectionTable(cap), ScanTable(cap)
+    closed = set()
+    for op in program:
+        if op[0] == "open":
+            _, cid, v, r = op
+            a = fast.open(cid, f"vip{v}", f"rip{r}", now=float(cid))
+            b = slow.open(cid, f"vip{v}", f"rip{r}", now=float(cid))
+            assert a == b
+            if not a:
+                closed.add(cid)  # rejected: both must refuse the close too
+        elif op[0] == "close":
+            _, cid = op
+            if cid in closed or cid not in fast._conns:
+                continue  # rejected at open, or already killed by a drop
+            assert fast.close(cid).rip == slow.close(cid).rip
+            closed.add(cid)
+        else:
+            vip = f"vip{op[1]}"
+            assert fast.drop_vip(vip) == slow.drop_vip(vip)
+            assert fast.is_paused(vip) and slow.is_paused(vip)
+        assert len(fast) == len(slow)
+        assert fast.rejected == slow.rejected
+        for v in range(3):
+            assert fast.count_for_vip(f"vip{v}") == slow.count_for_vip(f"vip{v}")
+    assert {c.conn_id: (c.vip, c.rip) for c in fast._conns.values()} == {
+        c.conn_id: (c.vip, c.rip) for c in slow._conns.values()
+    }
